@@ -1,0 +1,53 @@
+"""Ablation — BGZF compression level sweep.
+
+The paper's future work proposes compressing BAMX; this ablation
+measures the underlying trade-off on our BGZF layer: compression level
+vs output size vs (de)compression time for BAM-like payloads.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.formats.bgzf import compress_bytes, decompress_bytes
+from repro.formats.sam import read_sam
+
+from .common import format_rows, report, sam_dataset
+
+LEVELS = (1, 4, 6, 9)
+
+
+def _measure():
+    sam_path = sam_dataset()
+    payload = open(sam_path, "rb").read()[: 4 << 20]
+    rows = []
+    for level in LEVELS:
+        t0 = time.perf_counter()
+        blob = compress_bytes(payload, level)
+        t_comp = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        out = decompress_bytes(blob)
+        t_decomp = time.perf_counter() - t0
+        assert out == payload
+        rows.append([level, len(payload), len(blob),
+                     f"{len(blob) / len(payload):.3f}", t_comp,
+                     t_decomp])
+    return rows
+
+
+def test_ablation_bgzf_levels(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_rows(
+        ["level", "raw bytes", "bgzf bytes", "ratio", "compress (s)",
+         "decompress (s)"], rows)
+    report("ablation_bgzf", text)
+
+    ratios = [float(r[3]) for r in rows]
+    comp_times = [r[4] for r in rows]
+    # Higher levels never compress worse...
+    for a, b in zip(ratios, ratios[1:]):
+        assert b <= a * 1.001
+    # ...and level 9 costs more CPU than level 1.
+    assert comp_times[-1] > comp_times[0]
+    # BGZF framing keeps everything readable.
+    assert ratios[-1] < 0.6  # SAM text compresses well

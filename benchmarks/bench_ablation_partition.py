@@ -1,0 +1,49 @@
+"""Ablation — cost and balance of Algorithm 1 partitioning.
+
+The SAM converter's scalability story rests on Algorithm 1 being (a)
+nearly free — each rank probes a few bytes around its tentative
+boundary — and (b) well balanced — partitions stay within a record of
+even.  This bench measures both across core counts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.runtime.partition import partition_text_file
+
+from .common import format_rows, report, sam_dataset
+
+CORES = (2, 8, 32, 128, 512)
+
+
+def _measure():
+    sam_path = sam_dataset()
+    size = os.path.getsize(sam_path)
+    rows = []
+    for nparts in CORES:
+        t0 = time.perf_counter()
+        parts = partition_text_file(sam_path, nparts)
+        elapsed = time.perf_counter() - t0
+        lengths = [p.length for p in parts]
+        imbalance = (max(lengths) - min(lengths)) / (size / nparts)
+        rows.append([nparts, elapsed * 1e3, max(lengths), min(lengths),
+                     f"{imbalance:.4%}"])
+    return size, rows
+
+
+def test_ablation_partition_overhead(benchmark):
+    size, rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_rows(
+        ["parts", "partition time (ms)", "max bytes", "min bytes",
+         "imbalance"], rows)
+    text += f"\nfile size: {size} bytes"
+    report("ablation_partition", text)
+
+    for nparts, ms, max_b, min_b, _ in rows:
+        # Partitioning is trivially cheap next to any conversion.
+        assert ms < 200.0, (nparts, ms)
+        # Balance: no partition deviates from even by more than one
+        # record (~a few hundred bytes).
+        assert max_b - min_b < 2_000, (nparts, max_b, min_b)

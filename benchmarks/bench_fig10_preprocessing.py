@@ -1,0 +1,45 @@
+"""Figure 10 — speedup of the parallel SAM preprocessing step.
+
+Paper (15.7 GB SAM, sequential preprocessing 2187 s): preprocessing
+parallelized with Algorithm 1 scales well across nodes, though within a
+single node it is bridled by the I/O bottleneck (preprocessing is the
+most I/O-intensive phase: it reads all the text and writes all the
+binary records).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import PreprocSamConverter
+
+from .common import CONVERSION_CORES, report, sam_dataset, \
+    sequential_reference, speedup_curve
+
+
+def _sweep(out_root: str):
+    sam_path = sam_dataset()
+    converter = PreprocSamConverter()
+    runs = {}
+    for nprocs in CONVERSION_CORES:
+        _, metrics = converter.preprocess(
+            sam_path, os.path.join(out_root, f"pp_{nprocs}"), nprocs)
+        runs[nprocs] = metrics
+    seq = sequential_reference(runs[1])
+    return speedup_curve("SAM preprocessing", seq, runs)
+
+
+def test_fig10_preprocessing_speedup(benchmark, tmp_path):
+    curve = benchmark.pedantic(_sweep, args=(str(tmp_path),),
+                               rounds=1, iterations=1)
+    report("fig10_preprocessing", curve.format_table())
+
+    speedups = curve.speedups()
+    assert speedups[0] == 1.0
+    # Scales through the multi-node range.
+    assert speedups[3] > 5.0          # 8 cores
+    assert speedups[4] > 8.0          # 16 cores
+    assert speedups[-1] > speedups[3]  # still gaining at 128
+    # Monotone non-degrading in the compute-bound range.
+    for a, b in zip(speedups[:4], speedups[1:4]):
+        assert b > a

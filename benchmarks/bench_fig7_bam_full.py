@@ -1,0 +1,62 @@
+"""Figure 7 — full-conversion speedup of the BAM format converter.
+
+Paper: a 117 GB sorted BAM converted to BED, BEDGRAPH and FASTA on 1 to
+128 cores after sequential preprocessing; scalability is good because
+(1) padded BAMX records give a perfectly regular layout and (2) rank
+tasks are independent.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+from repro.core import BamConverter
+from repro.runtime.metrics import SpeedupCurve
+
+from .common import CONVERSION_CORES, bam_dataset, best_of, \
+    dataset_dir, report, sequential_reference, speedup_curve
+
+
+@functools.lru_cache(maxsize=None)
+def preprocessed_bamx() -> str:
+    """Preprocess the bench BAM once (shared with the Fig. 8 bench)."""
+    converter = BamConverter()
+    bamx, _, _ = converter.preprocess(bam_dataset(),
+                                      os.path.join(dataset_dir(), "pp"))
+    return bamx
+
+
+def _sweep(out_root: str) -> dict[str, SpeedupCurve]:
+    bamx = preprocessed_bamx()
+    converter = BamConverter()
+    curves = {}
+    for target in ("bed", "bedgraph", "fasta"):
+        runs = {}
+        for nprocs in CONVERSION_CORES:
+            runs[nprocs] = best_of(lambda: converter.convert(
+                bamx, target,
+                os.path.join(out_root, f"{target}_{nprocs}"),
+                nprocs).rank_metrics, repeats=3)
+        seq = sequential_reference(runs[1])
+        curves[target] = speedup_curve(f"BAM(X) -> {target.upper()}",
+                                       seq, runs)
+    return curves
+
+
+def test_fig7_bam_full_conversion_speedup(benchmark, tmp_path):
+    curves = benchmark.pedantic(_sweep, args=(str(tmp_path),),
+                                rounds=1, iterations=1)
+    text = "\n\n".join(c.format_table() for c in curves.values())
+    report("fig7_bam_full", text)
+
+    for target, curve in curves.items():
+        speedups = curve.speedups()
+        assert speedups[0] == 1.0
+        assert speedups[2] > 2.5, (target, speedups)     # 4 cores
+        assert speedups[4] > 9.0, (target, speedups)     # 16 cores
+        # Monotone (2% tolerance) through the compute-bound range.
+        for a, b in zip(speedups[:5], speedups[1:5]):
+            assert b > 0.98 * a, (target, speedups)
+        # Still gaining at the high end.
+        assert speedups[-1] > speedups[4], target

@@ -1,0 +1,63 @@
+"""Dataset-size scaling check.
+
+DESIGN.md's substitution table rests on one claim: conversion cost is
+per-record, so results measured on scaled-down synthetic datasets
+transfer to the paper's 125M-record inputs.  This bench verifies the
+claim directly: sequential conversion time per record must stay
+roughly constant while the dataset grows 8x.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import SamConverter
+from repro.simdata import build_sam_dataset
+
+from .common import dataset_dir, format_rows, report
+
+SIZES = (2_000, 4_000, 8_000, 16_000)
+
+
+def _dataset(n_templates: int) -> str:
+    path = os.path.join(dataset_dir(), f"scale{n_templates}.sam")
+    if not os.path.exists(path):
+        build_sam_dataset(path, n_templates,
+                          chromosomes=[("chr1", 40 * n_templates)],
+                          seed=n_templates)
+    return path
+
+
+def _measure(out_root: str):
+    converter = SamConverter()
+    rows = []
+    for n_templates in SIZES:
+        sam_path = _dataset(n_templates)
+        best = float("inf")
+        for _ in range(2):
+            t0 = time.perf_counter()
+            result = converter.convert(
+                sam_path, "bed",
+                os.path.join(out_root, f"o{n_templates}"), nprocs=1)
+            best = min(best, time.perf_counter() - t0)
+        records = result.records
+        rows.append([records, best, 1e6 * best / records])
+    return rows
+
+
+def test_scaling_is_linear_in_records(benchmark, tmp_path):
+    rows = benchmark.pedantic(_measure, args=(str(tmp_path),),
+                              rounds=1, iterations=1)
+    text = format_rows(["records", "convert (s)", "us/record"], rows)
+    report("scaling", text)
+
+    per_record = [row[2] for row in rows]
+    # Cost per record stays flat across an 8x size range: every point
+    # within 40% of the median (Python timing noise allowance).
+    mid = sorted(per_record)[len(per_record) // 2]
+    for value in per_record:
+        assert 0.6 * mid < value < 1.4 * mid, per_record
+    # Total time grows with size (sanity).
+    totals = [row[1] for row in rows]
+    assert totals[-1] > 3.0 * totals[0]

@@ -1,0 +1,127 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every bench module regenerates one table or figure from §V of the paper.
+Datasets are synthetic (see DESIGN.md's substitution table) and scaled so
+the whole suite runs in minutes; record counts are printed with every
+result so the scaling is explicit.
+
+Speedup methodology (1-core host): each rank's work is executed and
+measured one rank at a time (the ``simulate`` executor), then
+:func:`repro.runtime.metrics.modeled_parallel_time` converts the per-rank
+measurements into a modeled wall time for the paper's cluster (8-core
+nodes, shared storage saturating at ``io_streams`` concurrent streams).
+Curve *shapes* — who scales, where I/O flattens the curve — come from the
+measured work distribution.
+
+Results are printed and appended to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import tempfile
+
+from repro.formats.bam import write_bam
+from repro.runtime.metrics import ClusterModel, RankMetrics, \
+    SpeedupCurve, merge_all, modeled_parallel_time
+from repro.simdata import build_sam_dataset
+
+#: Core counts used by the conversion figures (paper: 1..128).
+CONVERSION_CORES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Core counts used by the FDR figure (paper: up to 256).
+FDR_CORES = (1, 8, 16, 32, 64, 128, 256)
+
+#: The modeled cluster (see ClusterModel defaults: 8-core nodes).
+CLUSTER = ClusterModel()
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@functools.lru_cache(maxsize=None)
+def dataset_dir() -> str:
+    """One temp directory shared by all bench datasets this session."""
+    return tempfile.mkdtemp(prefix="repro-bench-")
+
+
+@functools.lru_cache(maxsize=None)
+def sam_dataset(n_templates: int = 16_000, seed: int = 1234) -> str:
+    """Build (once) and return the bench SAM dataset path."""
+    path = os.path.join(dataset_dir(), f"bench{n_templates}.sam")
+    build_sam_dataset(path, n_templates,
+                      chromosomes=[("chr1", 600_000), ("chr2", 400_000)],
+                      seed=seed)
+    return path
+
+
+@functools.lru_cache(maxsize=None)
+def bam_dataset(n_templates: int = 16_000, seed: int = 1234) -> str:
+    """Build (once) and return the bench BAM dataset path."""
+    from repro.formats.sam import read_sam
+    sam_path = sam_dataset(n_templates, seed)
+    path = os.path.join(dataset_dir(), f"bench{n_templates}.bam")
+    header, records = read_sam(sam_path)
+    write_bam(path, header, records)
+    return path
+
+
+def sequential_reference(rank_metrics: list[RankMetrics]) -> RankMetrics:
+    """Collapse a 1-rank run's metrics into the sequential reference."""
+    return merge_all(rank_metrics)
+
+
+def speedup_curve(label: str, seq: RankMetrics,
+                  runs: dict[int, list[RankMetrics]],
+                  model: ClusterModel = CLUSTER) -> SpeedupCurve:
+    """Build a speedup curve from per-core-count rank metrics."""
+    curve = SpeedupCurve(label)
+    for nprocs in sorted(runs):
+        t_par = modeled_parallel_time(runs[nprocs], model)
+        curve.add(nprocs, seq.total_seconds, t_par)
+    return curve
+
+
+def best_of(run, repeats: int = 2,
+            model: ClusterModel = CLUSTER) -> list[RankMetrics]:
+    """Run *run()* (returning per-rank metrics) *repeats* times and keep
+    the attempt with the smallest modeled parallel time.
+
+    Single-shot max-over-ranks timing is sensitive to GC/allocator
+    hiccups on a shared host; best-of-N is the standard way to measure
+    the intrinsic cost.
+    """
+    best = None
+    best_time = float("inf")
+    for _ in range(repeats):
+        metrics = run()
+        t = modeled_parallel_time(metrics, model)
+        if t < best_time:
+            best, best_time = metrics, t
+    assert best is not None
+    return best
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+              encoding="utf-8") as fh:
+        fh.write(banner)
+
+
+def format_rows(headers: list[str], rows: list[list[object]]) -> str:
+    """Simple fixed-width table formatter."""
+    cells = [[str(h) for h in headers]] + \
+        [[f"{c:.3f}" if isinstance(c, float) else str(c) for c in row]
+         for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""ChIP-seq-style peak analysis: the paper's §IV statistics workflow.
+
+Follows Han et al. (2012), the pipeline the paper parallelizes:
+
+1. build a binned coverage histogram with known enriched regions,
+2. denoise it with NL-means (parallel, halo replication),
+3. sweep candidate thresholds p_t and compute FDR(p_t) with the
+   parallel Algorithm-2 implementation,
+4. pick the loosest threshold with FDR below a target and report the
+   recovered peak regions.
+
+Run:
+
+    python examples/chipseq_peak_analysis.py
+"""
+
+import numpy as np
+
+from repro.simdata import build_simulations
+from repro.stats import fdr_parallel, nlmeans_parallel
+
+RNG = np.random.default_rng(1234)
+N_BINS = 8_000
+BIN_SIZE = 25
+TARGET_FDR = 0.05
+
+
+def make_signal() -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Noisy background plus planted enrichment peaks."""
+    signal = RNG.poisson(5.0, N_BINS).astype(float)
+    truth = []
+    for _ in range(12):
+        center = int(RNG.integers(100, N_BINS - 100))
+        width = int(RNG.integers(8, 30))
+        height = float(RNG.uniform(25, 60))
+        x = np.arange(N_BINS)
+        signal += height * np.exp(-0.5 * ((x - center) / width) ** 2)
+        truth.append((center - 2 * width, center + 2 * width))
+    return signal, truth
+
+
+def to_regions(mask: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous True runs as half-open bin ranges."""
+    regions = []
+    start = None
+    for i, hit in enumerate(mask):
+        if hit and start is None:
+            start = i
+        elif not hit and start is not None:
+            regions.append((start, i))
+            start = None
+    if start is not None:
+        regions.append((start, len(mask)))
+    return regions
+
+
+def main() -> None:
+    signal, truth = make_signal()
+    print(f"histogram: {N_BINS} bins x {BIN_SIZE} bp, "
+          f"{len(truth)} planted peaks")
+
+    # 1. Denoise (r=20, l=15, sigma=10 — the paper's parameters).
+    denoised, metrics = nlmeans_parallel(signal, nprocs=8,
+                                         search_radius=20, half_patch=15,
+                                         sigma=10.0)
+    slowest = max(m.compute_seconds for m in metrics)
+    print(f"NL-means on 8 ranks (slowest rank {slowest:.2f}s)")
+
+    # 2. Random simulations (positional permutation null).
+    sims = build_simulations(denoised, n_simulations=60, seed=99)
+
+    # 3. FDR sweep: pick the loosest p_t with FDR <= target.  Lower p_t
+    #    = stricter selection (fewer simulations may exceed a bin).
+    chosen = None
+    print(f"\n{'p_t':>6} {'FDR':>9} {'bins kept':>10}")
+    for p_t in (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0):
+        result, _ = fdr_parallel(denoised, sims, p_t, nprocs=8)
+        print(f"{p_t:>6.1f} {result.fdr:>9.4f} "
+              f"{result.denominator:>10.0f}")
+        if result.fdr <= TARGET_FDR:
+            chosen = (p_t, result)
+    if chosen is None:
+        print("no threshold meets the FDR target; keeping strictest")
+        chosen = (0.0, fdr_parallel(denoised, sims, 0.0, nprocs=8)[0])
+
+    p_t, result = chosen
+    print(f"\nselected p_t = {p_t} (FDR {result.fdr:.4f})")
+
+    # 4. Call peaks: bins whose empirical p_i passes the threshold.
+    p_values = (denoised[None, :] <= sims).sum(axis=0)
+    mask = p_values <= p_t
+    called = to_regions(mask)
+    recovered = sum(
+        1 for lo, hi in truth
+        if any(c_lo < hi and c_hi > lo for c_lo, c_hi in called))
+    print(f"called {len(called)} regions; recovered {recovered}/"
+          f"{len(truth)} planted peaks")
+    for lo, hi in called[:10]:
+        print(f"  peak @ bins [{lo}, {hi}) = bp "
+              f"[{lo * BIN_SIZE}, {hi * BIN_SIZE})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Tour of the high-level AlignmentDataset API.
+
+One object from simulation to peaks: simulate, inspect, sort,
+preprocess, convert (full / region / filtered), fetch, and run the
+statistics workflow — each line delegating to the subsystem the other
+examples show in detail.
+
+Run:
+
+    python examples/dataset_api_tour.py
+"""
+
+import os
+import tempfile
+
+from repro.core import AlignmentDataset, RecordFilter
+from repro.simdata import build_simulations
+from repro.stats import call_peaks
+
+
+def main() -> None:
+    work = tempfile.mkdtemp(prefix="repro-tour-")
+
+    # Simulate an *unsorted* BAM, then sort it.
+    raw = AlignmentDataset.simulate(
+        os.path.join(work, "raw.bam"), n_templates=1_200,
+        chromosomes=[("chr1", 100_000), ("chr2", 60_000)], seed=7,
+        sort=False)
+    ds = raw.sorted(os.path.join(work, "sorted.bam"))
+    print(f"dataset: {ds.count()} records, "
+          f"sort order {ds.header.sort_order!r}")
+
+    # Inspection.
+    print("\nflagstat:")
+    for line in ds.flagstat().format_report().splitlines()[:5]:
+        print(f"  {line}")
+    report = ds.validate()
+    print(f"validation: {'clean' if report.ok else 'ISSUES'} "
+          f"({report.records_checked} records)")
+
+    # Preprocess once, reuse the store for everything random-access.
+    store = ds.preprocess(os.path.join(work, "store"))
+    print(f"\npreprocessed store: {len(store)} records "
+          f"({os.path.basename(store.store_path)})")
+
+    result = store.convert("bed", os.path.join(work, "bed"), nprocs=4)
+    print(f"full conversion: {result.emitted} BED features on "
+          f"{result.nprocs} ranks")
+
+    high_quality = RecordFilter(min_mapq=50, primary_only=True)
+    filtered = store.convert_region(
+        "chr1:20001-60000", "sam", os.path.join(work, "region"),
+        nprocs=2, record_filter=high_quality)
+    print(f"filtered region conversion: {filtered.records} records "
+          f"(chr1:20001-60000, MAPQ>=50, primary)")
+
+    spanning = store.fetch("chr1:30001-30100", mode="overlap")
+    print(f"fetch(overlap): {len(spanning)} alignments across "
+          f"chr1:30001-30100")
+
+    # Statistics: histogram -> denoise -> FDR -> peaks, one call.
+    histo = ds.histogram(bin_size=25)["chr1"]
+    sims = build_simulations(histo, n_simulations=40, seed=5)
+    peaks = call_peaks(histo, sims, target_fdr=0.10, nprocs=4,
+                       min_width=2, merge_gap=2)
+    print(f"\npeak calling: threshold p_t={peaks.threshold} "
+          f"(FDR {peaks.fdr.fdr:.3f}), {peaks.n_peaks} regions")
+    for peak in peaks.peaks[:5]:
+        print(f"  chr1 bins [{peak.start}, {peak.end}) "
+              f"max={peak.max_value:.1f}")
+
+    print(f"\nall outputs under {work}")
+
+
+if __name__ == "__main__":
+    main()

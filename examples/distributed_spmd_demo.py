@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""SPMD runtime demo: the paper's distributed protocols, rank by rank.
+
+Everything else in this repo drives the converters through high-level
+APIs; this example shows the underlying MPI-style layer directly:
+
+* Algorithm 1 executed per-rank with real boundary exchange,
+* NL-means as scatter -> compute -> gather,
+* FDR Algorithm 2 with its explicit barrier and master reduction,
+
+each run on both the thread backend and the process backend (true
+multi-process parallelism).
+
+Run:
+
+    python examples/distributed_spmd_demo.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.runtime.partition import partition_rank_spmd
+from repro.runtime.spmd import run_spmd
+from repro.simdata import build_histogram, build_sam_dataset, \
+    build_simulations
+from repro.stats import fdr_spmd, fdr_vectorized, nlmeans, nlmeans_spmd
+
+N_RANKS = 4
+
+
+def algorithm1_rank(comm, sam_path):
+    """One rank of Algorithm 1: adjust boundaries, report ownership."""
+    part = partition_rank_spmd(comm, sam_path)
+    return (comm.rank, part.start, part.end)
+
+
+def main() -> None:
+    work = tempfile.mkdtemp(prefix="repro-spmd-")
+    sam_path = os.path.join(work, "s.sam")
+    build_sam_dataset(sam_path, n_templates=500, seed=3)
+
+    for backend in ("thread", "process"):
+        print(f"--- backend: {backend} ({N_RANKS} ranks) ---")
+
+        # Algorithm 1 with real start/end message exchange.
+        results = run_spmd(algorithm1_rank, N_RANKS, sam_path,
+                           backend=backend)
+        size = os.path.getsize(sam_path)
+        assert results[0][1] == 0 and results[-1][2] == size
+        for rank, start, end in results:
+            print(f"  rank {rank}: bytes [{start:>8}, {end:>8}) "
+                  f"({end - start} bytes)")
+
+        # NL-means: scatter halo partitions, gather denoised cores.
+        signal = build_histogram(3_000, seed=8)
+        spmd_out = run_spmd(
+            lambda comm: nlmeans_spmd(
+                comm, signal if comm.rank == 0 else None,
+                search_radius=10, half_patch=5, sigma=10.0),
+            N_RANKS, backend=backend)[0]
+        sequential = nlmeans(signal, 10, 5, 10.0)
+        assert np.array_equal(spmd_out, sequential)
+        print(f"  NL-means: {len(signal)} bins, SPMD output bitwise "
+              f"equal to sequential")
+
+        # FDR Algorithm 2: local fused sums, barrier, master reduce.
+        sims = build_simulations(signal, 20, seed=9)
+        fdr = run_spmd(
+            lambda comm: fdr_spmd(
+                comm, signal if comm.rank == 0 else None,
+                sims if comm.rank == 0 else None, p_t=3.0),
+            N_RANKS, backend=backend)[0]
+        reference = fdr_vectorized(signal, sims, 3.0)
+        assert fdr.fdr == reference.fdr
+        print(f"  FDR(3.0) = {fdr.fdr:.4f}, identical to the "
+              f"sequential value\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: the whole pipeline in ~60 lines.
+
+Simulates a small genome and read set, aligns the reads, writes SAM,
+converts it to BED in parallel, and runs the statistics chain
+(histogram -> NL-means -> FDR).  Run:
+
+    python examples/quickstart.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import SamConverter
+from repro.simdata import build_sam_dataset, build_simulations
+from repro.stats import fdr_parallel, histogram_from_records, \
+    nlmeans_parallel
+
+
+def main() -> None:
+    work = tempfile.mkdtemp(prefix="repro-quickstart-")
+    sam_path = os.path.join(work, "sample.sam")
+
+    # 1. Build a synthetic aligned dataset (genome -> reads -> aligner).
+    workload = build_sam_dataset(sam_path, n_templates=1_000,
+                                 chromosomes=[("chr1", 80_000),
+                                              ("chr2", 40_000)],
+                                 seed=42)
+    mapped = sum(1 for r in workload.records if r.is_mapped)
+    print(f"simulated {len(workload.records)} alignments "
+          f"({mapped} mapped) -> {sam_path}")
+
+    # 2. Convert SAM to BED on 4 ranks (Algorithm 1 partitioning).
+    result = SamConverter().convert(sam_path, "bed",
+                                    os.path.join(work, "bed"), nprocs=4)
+    print(f"converted to BED: {result.emitted} features in "
+          f"{len(result.outputs)} part files "
+          f"({result.wall_seconds:.2f}s)")
+
+    # 3. Coverage histogram (25 bp bins, as in the paper's §IV).
+    histos = histogram_from_records(workload.records, workload.header,
+                                    bin_size=25)
+    signal = histos["chr1"]
+    print(f"chr1 histogram: {len(signal)} bins, "
+          f"mean coverage x bin {signal.mean():.1f}")
+
+    # 4. NL-means denoising on 4 ranks (halo replication).  The patch
+    # distance sums 2l+1 squared differences, so sigma is scaled to
+    # sqrt(patch) times the per-bin noise level for meaningful weights.
+    sigma = float(np.std(np.diff(signal))) * 31 ** 0.5 or 1.0
+    denoised, _ = nlmeans_parallel(signal, nprocs=4, search_radius=20,
+                                   half_patch=15, sigma=sigma)
+    smoothness = np.abs(np.diff(denoised)).mean() \
+        / max(np.abs(np.diff(signal)).mean(), 1e-9)
+    print(f"NL-means denoised: neighbour roughness reduced to "
+          f"{smoothness:.0%} of the raw signal")
+
+    # 5. FDR for a candidate peak threshold (Algorithm 2, fused sums).
+    sims = build_simulations(denoised, n_simulations=40, seed=7)
+    fdr, _ = fdr_parallel(denoised, sims, p_t=4.0, nprocs=4)
+    print(f"FDR(p_t=4.0) = {fdr.fdr:.4f} "
+          f"({fdr.denominator:.0f} candidate bins)")
+
+    print(f"\nall outputs under {work}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP-660
+editable installs are unavailable; keeping a setup.py lets
+``pip install -e .`` fall back to the legacy develop-mode path.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Sequential baseline converters (the Picard stand-in of Table I)."""
+
+from .picard_like import BaselineResult, bam_to_fastq, bam_to_sam, \
+    sam_to_bam, sam_to_fastq
+
+__all__ = ["BaselineResult", "sam_to_fastq", "bam_to_fastq", "bam_to_sam",
+           "sam_to_bam"]

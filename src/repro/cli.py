@@ -1,0 +1,437 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands cover the whole pipeline: simulate a dataset, preprocess it
+(BAMX/BAIX), convert it (fully or for one region, in parallel), build a
+coverage histogram, denoise it with NL-means, and compute an FDR
+threshold.  Run ``repro --help`` or ``repro <cmd> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from .errors import ReproError
+
+
+def _parse_chroms(text: str) -> list[tuple[str, int]]:
+    """Parse ``chr1:60000,chr2:40000`` into [(name, length), ...]."""
+    out = []
+    for part in text.split(","):
+        name, _, length = part.partition(":")
+        if not name or not length.isdigit():
+            raise ReproError(f"bad chromosome spec {part!r} "
+                             "(want name:length)")
+        out.append((name, int(length)))
+    return out
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .simdata import build_bam_dataset, build_sam_dataset
+    chroms = _parse_chroms(args.chromosomes)
+    if args.output.endswith(".bam"):
+        wl = build_bam_dataset(args.output, args.templates, chroms,
+                               seed=args.seed, sort=not args.unsorted)
+    else:
+        wl = build_sam_dataset(args.output, args.templates, chroms,
+                               seed=args.seed, sort=not args.unsorted)
+    mapped = sum(1 for r in wl.records if r.is_mapped)
+    print(f"wrote {len(wl.records)} records ({mapped} mapped) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .core import BamConverter, SamConverter, parse_filter_expr
+    record_filter = parse_filter_expr(args.filter) if args.filter \
+        else None
+    source = args.input.lower()
+    if source.endswith(".sam"):
+        result = SamConverter().convert(args.input, args.target,
+                                        args.out_dir, args.nprocs,
+                                        args.executor,
+                                        record_filter=record_filter)
+    elif source.endswith((".bamx", ".bamz")):
+        result = BamConverter().convert(args.input, args.target,
+                                        args.out_dir, args.nprocs,
+                                        args.executor,
+                                        record_filter=record_filter)
+    elif source.endswith(".bam"):
+        converter = BamConverter()
+        bamx, _, pre = converter.preprocess(args.input, args.work_dir
+                                            or args.out_dir)
+        print(f"preprocessed to {bamx} "
+              f"({pre.total_seconds:.2f}s, {pre.records} records)")
+        result = converter.convert(bamx, args.target, args.out_dir,
+                                   args.nprocs, args.executor,
+                                   record_filter=record_filter)
+    else:
+        raise ReproError(
+            f"cannot tell the source format of {args.input!r}; expected a "
+            f".sam, .bam, .bamx or .bamz file")
+    print(f"converted {result.records} records -> {result.emitted} "
+          f"{result.target} objects in {len(result.outputs)} part files "
+          f"({result.wall_seconds:.2f}s, {result.nprocs} ranks)")
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    from .core import BamConverter, PreprocSamConverter
+    source = args.input.lower()
+    if source.endswith(".bam"):
+        bamx, baix, metrics = BamConverter().preprocess(
+            args.input, args.work_dir, compress=args.compress)
+        print(f"sequential preprocessing: {metrics.records} records, "
+              f"{metrics.total_seconds:.2f}s\n  {bamx}\n  {baix}")
+    elif source.endswith(".sam"):
+        paths, metrics = PreprocSamConverter().preprocess(
+            args.input, args.work_dir, args.nprocs, args.executor)
+        total = sum(m.records for m in metrics)
+        print(f"parallel preprocessing ({args.nprocs} ranks): "
+              f"{total} records")
+        for path in paths:
+            print(f"  {path}")
+    else:
+        raise ReproError(f"expected a .sam or .bam input, got {args.input!r}")
+    return 0
+
+
+def _cmd_region(args: argparse.Namespace) -> int:
+    from .core import BamConverter, parse_filter_expr
+    record_filter = parse_filter_expr(args.filter) if args.filter \
+        else None
+    result = BamConverter().convert_region(
+        args.bamx, args.baix, args.region, args.target, args.out_dir,
+        args.nprocs, args.executor, mode=args.mode,
+        record_filter=record_filter)
+    print(f"partial conversion of {args.region}: {result.records} records "
+          f"-> {result.emitted} {result.target} objects "
+          f"({result.wall_seconds:.2f}s, {result.nprocs} ranks)")
+    return 0
+
+
+def _cmd_histogram(args: argparse.Namespace) -> int:
+    from .formats.bedgraph import write_bedgraph
+    from .formats.sam import SamReader
+    from .stats import histogram_from_records, histogram_to_bedgraph
+    with SamReader(args.input) as reader:
+        histos = histogram_from_records(reader, reader.header,
+                                        args.bin_size)
+    intervals = []
+    for chrom, histo in histos.items():
+        intervals.extend(histogram_to_bedgraph(histo, chrom,
+                                               args.bin_size))
+    n = write_bedgraph(args.output, intervals)
+    print(f"wrote {n} intervals over {len(histos)} chromosomes "
+          f"to {args.output}")
+    if args.npy:
+        np.save(args.npy, np.concatenate(list(histos.values())))
+        print(f"wrote dense histogram to {args.npy}")
+    return 0
+
+
+def _load_series(path: str) -> np.ndarray:
+    if path.endswith(".npy"):
+        return np.load(path)
+    from .formats.bedgraph import read_bedgraph
+    intervals = read_bedgraph(path)
+    if not intervals:
+        raise ReproError(f"no intervals in {path!r}")
+    chrom = intervals[0].chrom
+    span = max(iv.end for iv in intervals if iv.chrom == chrom)
+    out = np.zeros(span)
+    for iv in intervals:
+        if iv.chrom == chrom:
+            out[iv.start:iv.end] = iv.value
+    return out
+
+
+def _cmd_nlmeans(args: argparse.Namespace) -> int:
+    from .stats import nlmeans_parallel
+    values = _load_series(args.input)
+    denoised, metrics = nlmeans_parallel(values, args.nprocs,
+                                         args.search_radius,
+                                         args.half_patch, args.sigma)
+    np.save(args.output, denoised)
+    busy = max(m.compute_seconds for m in metrics)
+    print(f"denoised {len(values)} bins with r={args.search_radius}, "
+          f"l={args.half_patch}, sigma={args.sigma} on {args.nprocs} "
+          f"ranks (slowest rank {busy:.2f}s) -> {args.output}")
+    return 0
+
+
+def _cmd_fdr(args: argparse.Namespace) -> int:
+    from .simdata import build_simulations
+    from .stats import fdr_parallel
+    hist = _load_series(args.histogram)
+    if args.simulations:
+        sims = np.load(args.simulations)
+    else:
+        sims = build_simulations(hist, args.n_simulations, seed=args.seed)
+    result, _ = fdr_parallel(hist, sims, args.threshold, args.nprocs)
+    print(f"FDR(p_t={args.threshold}) = {result.fdr:.6f} "
+          f"(numerator {result.numerator:.2f}, "
+          f"denominator {result.denominator:.0f}, "
+          f"B={sims.shape[0]}, M={sims.shape[1]})")
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .core.sort import parallel_sort_sam, sort_bam, sort_sam
+    lowered = args.input.lower()
+    if lowered.endswith(".bam"):
+        result = sort_bam(args.input, args.output, args.chunk_records,
+                          args.work_dir)
+        print(f"sorted {result.records} records ({result.runs} spill "
+              f"runs, {result.metrics.total_seconds:.2f}s) -> "
+              f"{result.output}")
+    elif args.nprocs > 1:
+        work = args.work_dir or tempfile.mkdtemp(prefix="repro-sort-")
+        result, rank_metrics = parallel_sort_sam(
+            args.input, args.output, args.nprocs, work)
+        print(f"sorted {result.records} records with {args.nprocs} "
+              f"run-generation ranks -> {result.output}")
+    else:
+        result = sort_sam(args.input, args.output, args.chunk_records,
+                          args.work_dir)
+        print(f"sorted {result.records} records ({result.runs} spill "
+              f"runs, {result.metrics.total_seconds:.2f}s) -> "
+              f"{result.output}")
+    return 0
+
+
+def _cmd_flagstat(args: argparse.Namespace) -> int:
+    from .tools import flagstat, flagstat_parallel
+    if args.nprocs > 1 and args.input.lower().endswith(".sam"):
+        stats, _ = flagstat_parallel(args.input, args.nprocs)
+    else:
+        stats = flagstat(args.input)
+    print(stats.format_report())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .tools import validate_file
+    report = validate_file(args.input, check_mates=not args.no_mates)
+    print(report.format_report())
+    return 0 if report.ok else 1
+
+
+def _cmd_peaks(args: argparse.Namespace) -> int:
+    from .simdata import build_simulations
+    from .stats import call_peaks
+    hist = _load_series(args.histogram)
+    if args.simulations:
+        sims = np.load(args.simulations)
+    else:
+        sims = build_simulations(hist, args.n_simulations,
+                                 seed=args.seed)
+    result = call_peaks(hist, sims, target_fdr=args.target_fdr,
+                        denoise=not args.no_denoise,
+                        search_radius=args.search_radius,
+                        half_patch=args.half_patch,
+                        nprocs=args.nprocs, min_width=args.min_width,
+                        merge_gap=args.merge_gap)
+    print(f"selected p_t={result.threshold} "
+          f"(FDR {result.fdr.fdr:.4f}, "
+          f"{result.fdr.denominator:.0f} candidate bins)")
+    print(f"{result.n_peaks} enriched regions:")
+    for peak in result.peaks[:args.limit]:
+        print(f"  bins [{peak.start}, {peak.end})  "
+              f"max={peak.max_value:.1f} mean={peak.mean_value:.1f}")
+    if result.n_peaks > args.limit:
+        print(f"  ... and {result.n_peaks - args.limit} more")
+    if args.bed:
+        from .formats.bed import BedInterval, write_bed
+        intervals = [
+            BedInterval(args.chrom, p.start * args.bin_size,
+                        p.end * args.bin_size, f"peak{i}",
+                        min(1000, p.max_value))
+            for i, p in enumerate(result.peaks)]
+        write_bed(args.bed, intervals)
+        print(f"wrote {len(intervals)} BED features to {args.bed}")
+    return 0
+
+
+def _cmd_formats(_args: argparse.Namespace) -> int:
+    from .formats.registry import list_formats
+    for info in list_formats():
+        kind = "binary" if info.binary else "text"
+        exts = ", ".join(info.extensions)
+        print(f"{info.name:<10} {kind:<7} {exts:<20} {info.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel NGS format conversion and statistics "
+                    "(IPDPSW 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="generate a synthetic SAM/BAM "
+                                        "dataset")
+    p.add_argument("output", help="output path (.sam or .bam)")
+    p.add_argument("--templates", type=int, default=1000,
+                   help="number of read pairs (default 1000)")
+    p.add_argument("--chromosomes", default="chr1:60000,chr2:40000",
+                   help="comma-separated name:length list")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--unsorted", action="store_true",
+                   help="keep template order instead of coordinate sort")
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("convert", help="convert SAM/BAM/BAMX to another "
+                                       "format in parallel")
+    p.add_argument("input", help=".sam, .bam or .bamx input")
+    p.add_argument("--target", required=True,
+                   help="target format (see 'repro formats')")
+    p.add_argument("--out-dir", required=True)
+    p.add_argument("--work-dir", default=None,
+                   help="where BAM preprocessing writes BAMX/BAIX")
+    p.add_argument("--nprocs", type=int, default=1)
+    p.add_argument("--executor", default="simulate",
+                   choices=("simulate", "thread", "process"))
+    p.add_argument("--filter", default=None,
+                   help="record filter, e.g. 'q=30,F=0x400,primary'")
+    p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser("preprocess", help="BAMX/BAIX preprocessing only")
+    p.add_argument("input", help=".sam (parallel) or .bam (sequential)")
+    p.add_argument("--work-dir", required=True)
+    p.add_argument("--nprocs", type=int, default=1,
+                   help="preprocessing ranks (SAM input only)")
+    p.add_argument("--compress", action="store_true",
+                   help="write BGZF-compressed BAMZ instead of BAMX "
+                        "(BAM input only)")
+    p.add_argument("--executor", default="simulate",
+                   choices=("simulate", "thread", "process"))
+    p.set_defaults(fn=_cmd_preprocess)
+
+    p = sub.add_parser("sort", help="coordinate-sort a SAM/BAM file "
+                                    "(external merge sort)")
+    p.add_argument("input", help=".sam or .bam input")
+    p.add_argument("--output", required=True,
+                   help="output path (same format as input)")
+    p.add_argument("--chunk-records", type=int, default=250_000,
+                   help="records per in-memory run")
+    p.add_argument("--nprocs", type=int, default=1,
+                   help="parallel run-generation ranks (SAM input only)")
+    p.add_argument("--work-dir", default=None,
+                   help="where intermediate runs are written")
+    p.set_defaults(fn=_cmd_sort)
+
+    p = sub.add_parser("flagstat", help="flag statistics "
+                                        "(samtools flagstat)")
+    p.add_argument("input", help=".sam or .bam input")
+    p.add_argument("--nprocs", type=int, default=1,
+                   help="parallel counting ranks (SAM input only)")
+    p.set_defaults(fn=_cmd_flagstat)
+
+    p = sub.add_parser("validate", help="structural validation "
+                                        "(Picard ValidateSamFile)")
+    p.add_argument("input", help=".sam or .bam input")
+    p.add_argument("--no-mates", action="store_true",
+                   help="skip mate cross-checks")
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("region", help="partial conversion of one "
+                                      "chromosome region")
+    p.add_argument("bamx", help="preprocessed .bamx file")
+    p.add_argument("--baix", dest="baix", default=None,
+                   help="index path (default <bamx>.baix)")
+    p.add_argument("--region", required=True,
+                   help="samtools-style region, e.g. chr1:1000-2000")
+    p.add_argument("--target", required=True)
+    p.add_argument("--out-dir", required=True)
+    p.add_argument("--nprocs", type=int, default=1)
+    p.add_argument("--executor", default="simulate",
+                   choices=("simulate", "thread", "process"))
+    p.add_argument("--mode", default="start",
+                   choices=("start", "overlap"),
+                   help="select records starting in (paper semantics) "
+                        "or overlapping the region")
+    p.add_argument("--filter", default=None,
+                   help="record filter, e.g. 'q=30,F=0x400,primary'")
+    p.set_defaults(fn=_cmd_region)
+
+    p = sub.add_parser("histogram", help="binned coverage histogram from "
+                                         "a SAM file")
+    p.add_argument("input", help=".sam input")
+    p.add_argument("--bin-size", type=int, default=25)
+    p.add_argument("--output", required=True, help=".bedgraph output")
+    p.add_argument("--npy", default=None,
+                   help="also save the dense array as .npy")
+    p.set_defaults(fn=_cmd_histogram)
+
+    p = sub.add_parser("nlmeans", help="denoise a histogram with parallel "
+                                       "NL-means")
+    p.add_argument("input", help=".npy or .bedgraph histogram")
+    p.add_argument("--output", required=True, help=".npy output")
+    p.add_argument("--search-radius", "-r", type=int, default=20)
+    p.add_argument("--half-patch", "-l", type=int, default=15)
+    p.add_argument("--sigma", type=float, default=10.0)
+    p.add_argument("--nprocs", type=int, default=1)
+    p.set_defaults(fn=_cmd_nlmeans)
+
+    p = sub.add_parser("fdr", help="false discovery rate for a peak "
+                                   "threshold")
+    p.add_argument("histogram", help=".npy or .bedgraph histogram")
+    p.add_argument("--simulations", default=None,
+                   help=".npy (B, M) simulation array; generated by "
+                        "permutation when omitted")
+    p.add_argument("--n-simulations", type=int, default=80)
+    p.add_argument("--threshold", "-t", type=float, required=True,
+                   help="candidate threshold p_t")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nprocs", type=int, default=1)
+    p.set_defaults(fn=_cmd_fdr)
+
+    p = sub.add_parser("peaks", help="FDR-controlled peak calling on a "
+                                     "histogram")
+    p.add_argument("histogram", help=".npy or .bedgraph histogram")
+    p.add_argument("--simulations", default=None,
+                   help=".npy (B, M) simulation array")
+    p.add_argument("--n-simulations", type=int, default=60)
+    p.add_argument("--target-fdr", type=float, default=0.05)
+    p.add_argument("--no-denoise", action="store_true")
+    p.add_argument("--search-radius", "-r", type=int, default=20)
+    p.add_argument("--half-patch", "-l", type=int, default=15)
+    p.add_argument("--min-width", type=int, default=1)
+    p.add_argument("--merge-gap", type=int, default=0)
+    p.add_argument("--nprocs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--limit", type=int, default=20,
+                   help="max regions printed")
+    p.add_argument("--bed", default=None,
+                   help="also write regions as BED to this path")
+    p.add_argument("--chrom", default="chr1",
+                   help="chromosome name used in the BED output")
+    p.add_argument("--bin-size", type=int, default=25,
+                   help="bin size for BED coordinates")
+    p.set_defaults(fn=_cmd_peaks)
+
+    p = sub.add_parser("formats", help="list supported formats")
+    p.set_defaults(fn=_cmd_formats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

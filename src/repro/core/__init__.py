@@ -1,0 +1,27 @@
+"""The paper's core contribution: the three parallel format-converter
+instances, partial (region) conversion, and the target-plugin API."""
+
+from ..formats.record import AlignmentRecord
+from .base import EXECUTORS, ConversionResult
+from .bam_converter import BamConverter, convert_bam_direct, preprocess_bam
+from .dataset import AlignmentDataset, RecordStoreHandle
+from .filters import ACCEPT_ALL, RecordFilter, parse_filter_expr
+from .region import GenomicRegion
+from .sam_converter import SamConverter, convert_sam, scan_header
+from .sort import SortResult, parallel_sort_sam, sort_bam, sort_sam
+from .samp_converter import PreprocSamConverter
+from .targets import TargetFormat, get_target, register_target, \
+    target_names
+
+__all__ = [
+    "AlignmentRecord",
+    "ConversionResult", "EXECUTORS",
+    "SamConverter", "convert_sam", "scan_header",
+    "BamConverter", "convert_bam_direct", "preprocess_bam",
+    "PreprocSamConverter",
+    "GenomicRegion",
+    "AlignmentDataset", "RecordStoreHandle",
+    "RecordFilter", "ACCEPT_ALL", "parse_filter_expr",
+    "SortResult", "sort_sam", "sort_bam", "parallel_sort_sam",
+    "TargetFormat", "get_target", "register_target", "target_names",
+]

@@ -1,0 +1,412 @@
+"""The BAM format converter (§III-B, Fig. 3).
+
+BAM records carry no delimiter and sit inside BGZF blocks, so an even
+byte split leaves every partition unparsable: BAM conversion cannot be
+parallelized without preprocessing.  The converter therefore runs two
+phases:
+
+1. **Sequential preprocessing** — stream the BAM once to plan the BAMX
+   layout, stream it again to write the fixed-record BAMX file and its
+   BAIX index (sorted starting positions -> record indices).
+2. **Parallel conversion** — the BAMX supports O(1) random access, so
+   partitioning degenerates to handing each rank an equal count of
+   records; from there the flow matches the SAM converter.
+
+The BAIX also enables *partial conversion*: a chromosome region is
+binary-searched to a contiguous BAIX subrange, which is split evenly
+across ranks (§III-B, Fig. 4).
+
+For the Table I baseline, :func:`convert_bam_direct` converts straight
+from BAM without preprocessing (necessarily one rank).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from ..errors import ConversionError
+from ..formats.bam import BamReader
+from ..formats.baix import BaixIndex, default_index_path
+from ..formats.bamx import BamxLayout, BamxWriter
+from ..formats.store import open_record_store
+from ..formats.header import SamHeader
+from ..formats.tags import encode_tags
+from ..runtime.buffers import BufferedTextWriter
+from ..runtime.metrics import RankMetrics
+from ..runtime.partition import partition_records
+from .base import ConversionResult, bind_target, emit_records, \
+    execute_rank_tasks, finish_rank_metrics, make_output_path
+from .filters import ACCEPT_ALL, RecordFilter
+from .region import GenomicRegion
+from .targets import get_target
+
+
+def preprocess_bam(bam_path: str | os.PathLike[str],
+                   bamx_path: str | os.PathLike[str],
+                   baix_path: str | os.PathLike[str] | None = None,
+                   compress: bool = False, level: int = 6,
+                   ) -> RankMetrics:
+    """Sequential preprocessing: BAM -> BAMX (or BAMZ) + BAIX.
+
+    Two streaming passes over the BAM (layout planning, then writing);
+    the BGZF layer forbids anything but sequential decoding, which is
+    why this phase cannot be parallelized (§III-B).  With
+    ``compress=True`` the record store is written as BGZF-compressed
+    BAMZ (the paper's future-work extension) instead of raw BAMX.
+    Returns the phase metrics.
+    """
+    t0 = time.perf_counter()
+    metrics = RankMetrics()
+    bam_path = os.fspath(bam_path)
+    bamx_path = os.fspath(bamx_path)
+    if baix_path is None:
+        baix_path = default_index_path(bamx_path)
+    # Pass 1: plan the fixed-field capacities.
+    name_cap = cigar_cap = seq_cap = tag_cap = 0
+    count = 0
+    with BamReader(bam_path) as reader:
+        header = reader.header
+        for record in reader:
+            name_cap = max(name_cap, len(record.qname))
+            cigar_cap = max(cigar_cap, len(record.cigar))
+            if record.seq != "*":
+                seq_cap = max(seq_cap, len(record.seq))
+            tag_cap = max(tag_cap, len(encode_tags(record.tags)))
+            count += 1
+    layout = BamxLayout(name_cap, cigar_cap, seq_cap, tag_cap)
+    # Pass 2: write aligned records and collect index entries.
+    if compress:
+        from ..formats.bamz import BamzWriter
+        writer_ctx = BamzWriter(bamx_path, header, layout, level=level)
+    else:
+        writer_ctx = BamxWriter(bamx_path, header, layout)
+    index_entries = []
+    with BamReader(bam_path) as reader, writer_ctx as writer:
+        for record in reader:
+            index = writer.write(record)
+            if record.rname != "*" and record.pos >= 0:
+                index_entries.append((index, record))
+    BaixIndex.build(index_entries, header).save(baix_path)
+    from ..formats.baix2 import BaixOverlapIndex
+    from ..formats.baix2 import default_index_path as baix2_path
+    BaixOverlapIndex.build(index_entries, header).save(
+        baix2_path(bamx_path))
+    metrics.records = count
+    metrics.bytes_read = 2 * os.path.getsize(bam_path)
+    metrics.bytes_written = (os.path.getsize(bamx_path)
+                             + os.path.getsize(baix_path))
+    return finish_rank_metrics(metrics, t0)
+
+
+@dataclass(frozen=True, slots=True)
+class BamxRangeSpec:
+    """One rank's contiguous BAMX record range (full conversion)."""
+
+    bamx_path: str
+    start: int
+    stop: int
+    target: str
+    out_path: str
+    record_filter: RecordFilter = ACCEPT_ALL
+
+
+@dataclass(frozen=True, slots=True)
+class BamxPickSpec:
+    """One rank's explicit record indices (partial conversion)."""
+
+    bamx_path: str
+    indices: tuple[int, ...]
+    target: str
+    out_path: str
+    record_filter: RecordFilter = ACCEPT_ALL
+
+
+def _bamx_range_task(spec: BamxRangeSpec) -> RankMetrics:
+    """Convert records ``[start, stop)`` of a BAMX/BAMZ store."""
+    from ..formats.store import open_record_store
+    t0 = time.perf_counter()
+    metrics = RankMetrics()
+    with open_record_store(spec.bamx_path) as reader:
+        target = bind_target(get_target(spec.target), reader.header)
+        metrics.bytes_read += (spec.stop - spec.start) \
+            * reader.layout.record_size
+        records = spec.record_filter.apply(
+            reader.read_range(spec.start, spec.stop))
+        _write_target(records, target, reader.header, spec.out_path,
+                      metrics)
+    return finish_rank_metrics(metrics, t0)
+
+
+def _bamx_pick_task(spec: BamxPickSpec) -> RankMetrics:
+    """Convert an explicit set of record indices (random access)."""
+    from ..formats.store import open_record_store
+    t0 = time.perf_counter()
+    metrics = RankMetrics()
+    with open_record_store(spec.bamx_path) as reader:
+        target = bind_target(get_target(spec.target), reader.header)
+        metrics.bytes_read += len(spec.indices) * reader.layout.record_size
+        records = spec.record_filter.apply(
+            reader[i] for i in spec.indices)
+        _write_target(records, target, reader.header, spec.out_path,
+                      metrics)
+    return finish_rank_metrics(metrics, t0)
+
+
+def _write_target(records, target, header: SamHeader, out_path: str,
+                  metrics: RankMetrics) -> None:
+    if target.mode == "binary":
+        from ..formats.bam import BamWriter
+        writer = BamWriter(out_path, header)
+        emitted = 0
+        for record in records:
+            writer.write(record)
+            emitted += 1
+        writer.close()
+        metrics.records += emitted
+        metrics.emitted += emitted
+        metrics.bytes_written += os.path.getsize(out_path)
+    else:
+        with BufferedTextWriter(out_path, metrics=metrics) as writer:
+            head = target.file_header(header)
+            if head:
+                writer.write_text(head)
+            emit_records(records, target, writer, metrics)
+
+
+class BamConverter:
+    """Two-phase parallel BAM -> * converter."""
+
+    def preprocess(self, bam_path: str | os.PathLike[str],
+                   work_dir: str | os.PathLike[str],
+                   compress: bool = False,
+                   ) -> tuple[str, str, RankMetrics]:
+        """Run sequential preprocessing into *work_dir*.
+
+        Returns ``(store_path, baix_path, metrics)``; the store is BAMX,
+        or BGZF-compressed BAMZ when ``compress=True``.
+        """
+        from ..formats.store import store_extension
+        work_dir = os.fspath(work_dir)
+        os.makedirs(work_dir, exist_ok=True)
+        stem = os.path.splitext(os.path.basename(os.fspath(bam_path)))[0]
+        bamx_path = os.path.join(work_dir,
+                                 stem + store_extension(compress))
+        baix_path = default_index_path(bamx_path)
+        metrics = preprocess_bam(bam_path, bamx_path, baix_path,
+                                 compress=compress)
+        return bamx_path, baix_path, metrics
+
+    def convert(self, bamx_path: str | os.PathLike[str], target: str,
+                out_dir: str | os.PathLike[str], nprocs: int = 1,
+                executor: str = "simulate",
+                record_filter: RecordFilter | None = None,
+                ) -> ConversionResult:
+        """Parallel full conversion of a preprocessed BAMX/BAMZ store.
+
+        *record_filter* restricts which records are emitted.
+        """
+        if nprocs < 1:
+            raise ConversionError(f"nprocs {nprocs} must be >= 1")
+        bamx_path = os.fspath(bamx_path)
+        out_dir = os.fspath(out_dir)
+        os.makedirs(out_dir, exist_ok=True)
+        t0 = time.perf_counter()
+        with open_record_store(bamx_path) as reader:
+            count = len(reader)
+        target_plugin = get_target(target)
+        stem = os.path.splitext(os.path.basename(bamx_path))[0]
+        specs = [
+            BamxRangeSpec(bamx_path, start, stop, target,
+                          make_output_path(out_dir, stem, rank,
+                                           target_plugin),
+                          record_filter or ACCEPT_ALL)
+            for rank, (start, stop)
+            in enumerate(partition_records(count, nprocs))
+        ]
+        rank_metrics = execute_rank_tasks(_bamx_range_task, specs, executor)
+        return ConversionResult(
+            target=target,
+            outputs=[s.out_path for s in specs],
+            rank_metrics=rank_metrics,
+            records=sum(m.records for m in rank_metrics),
+            emitted=sum(m.emitted for m in rank_metrics),
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+    def convert_region(self, bamx_path: str | os.PathLike[str],
+                       baix_path: str | os.PathLike[str] | None,
+                       region: GenomicRegion | str, target: str,
+                       out_dir: str | os.PathLike[str], nprocs: int = 1,
+                       executor: str = "simulate", mode: str = "start",
+                       record_filter: RecordFilter | None = None,
+                       ) -> ConversionResult:
+        """Partial conversion of one chromosome region.
+
+        ``mode="start"`` (the paper's semantics) selects records whose
+        *starting position* lies inside the region, via binary search
+        over the v1 BAIX.  ``mode="overlap"`` selects records whose
+        alignment span overlaps the region, via the v2 overlap index
+        (the future-work extension); *baix_path* then names the
+        ``.baix2`` file.  Either way the selected record indices are
+        split evenly across ranks for random-access conversion
+        (§III-B).  *record_filter* further restricts by flags/MAPQ.
+        """
+        if nprocs < 1:
+            raise ConversionError(f"nprocs {nprocs} must be >= 1")
+        bamx_path = os.fspath(bamx_path)
+        out_dir = os.fspath(out_dir)
+        os.makedirs(out_dir, exist_ok=True)
+        t0 = time.perf_counter()
+        if mode not in ("start", "overlap"):
+            raise ConversionError(
+                f"unknown partial-conversion mode {mode!r}; choose "
+                f"'start' or 'overlap'")
+        with open_record_store(bamx_path) as reader:
+            header = reader.header
+        if isinstance(region, str):
+            region = GenomicRegion.parse(region, header)
+        ref_id = header.ref_id(region.chrom)
+        if mode == "start":
+            if baix_path is None:
+                baix_path = default_index_path(bamx_path)
+            index = BaixIndex.load(baix_path)
+            lo, hi = index.locate(ref_id, region.start, region.end)
+            indices = index.record_indices(lo, hi)
+        else:
+            from ..formats.baix2 import BaixOverlapIndex
+            from ..formats.baix2 import default_index_path as baix2_path
+            if baix_path is None:
+                baix_path = baix2_path(bamx_path)
+            index2 = BaixOverlapIndex.load(baix_path)
+            indices = index2.locate_overlaps(ref_id, region.start,
+                                             region.end)
+        target_plugin = get_target(target)
+        stem = os.path.splitext(os.path.basename(bamx_path))[0]
+        specs = [
+            BamxPickSpec(bamx_path,
+                         tuple(int(i) for i in indices[start:stop]),
+                         target,
+                         make_output_path(out_dir, f"{stem}.region", rank,
+                                          target_plugin),
+                         record_filter or ACCEPT_ALL)
+            for rank, (start, stop)
+            in enumerate(partition_records(len(indices), nprocs))
+        ]
+        rank_metrics = execute_rank_tasks(_bamx_pick_task, specs, executor)
+        return ConversionResult(
+            target=target,
+            outputs=[s.out_path for s in specs],
+            rank_metrics=rank_metrics,
+            records=sum(m.records for m in rank_metrics),
+            emitted=sum(m.emitted for m in rank_metrics),
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+    def convert_regions(self, bamx_path: str | os.PathLike[str],
+                        baix_path: str | os.PathLike[str] | None,
+                        regions: list, target: str,
+                        out_dir: str | os.PathLike[str], nprocs: int = 1,
+                        executor: str = "simulate", mode: str = "start",
+                        record_filter: RecordFilter | None = None,
+                        ) -> ConversionResult:
+        """Partial conversion of the *union* of several regions.
+
+        Records selected by more than one region are converted exactly
+        once; the combined index set is split evenly across ranks.  One
+        of the "more partial conversion types" the paper's future work
+        calls for.  Parameters match :meth:`convert_region`.
+        """
+        if nprocs < 1:
+            raise ConversionError(f"nprocs {nprocs} must be >= 1")
+        if not regions:
+            raise ConversionError("convert_regions needs >= 1 region")
+        if mode not in ("start", "overlap"):
+            raise ConversionError(
+                f"unknown partial-conversion mode {mode!r}; choose "
+                f"'start' or 'overlap'")
+        bamx_path = os.fspath(bamx_path)
+        out_dir = os.fspath(out_dir)
+        os.makedirs(out_dir, exist_ok=True)
+        t0 = time.perf_counter()
+        with open_record_store(bamx_path) as reader:
+            header = reader.header
+        parsed = [GenomicRegion.parse(r, header) if isinstance(r, str)
+                  else r for r in regions]
+        index_lists = []
+        if mode == "start":
+            if baix_path is None:
+                baix_path = default_index_path(bamx_path)
+            index = BaixIndex.load(baix_path)
+            for region in parsed:
+                lo, hi = index.locate(header.ref_id(region.chrom),
+                                      region.start, region.end)
+                index_lists.append(index.record_indices(lo, hi))
+        else:
+            from ..formats.baix2 import BaixOverlapIndex
+            from ..formats.baix2 import default_index_path as baix2_path
+            if baix_path is None:
+                baix_path = baix2_path(bamx_path)
+            index2 = BaixOverlapIndex.load(baix_path)
+            for region in parsed:
+                index_lists.append(index2.locate_overlaps(
+                    header.ref_id(region.chrom), region.start,
+                    region.end))
+        # Union without duplicates, preserving first-seen order.
+        seen: set[int] = set()
+        indices: list[int] = []
+        for index_list in index_lists:
+            for i in index_list:
+                i = int(i)
+                if i not in seen:
+                    seen.add(i)
+                    indices.append(i)
+        target_plugin = get_target(target)
+        stem = os.path.splitext(os.path.basename(bamx_path))[0]
+        specs = [
+            BamxPickSpec(bamx_path, tuple(indices[start:stop]), target,
+                         make_output_path(out_dir, f"{stem}.regions",
+                                          rank, target_plugin),
+                         record_filter or ACCEPT_ALL)
+            for rank, (start, stop)
+            in enumerate(partition_records(len(indices), nprocs))
+        ]
+        rank_metrics = execute_rank_tasks(_bamx_pick_task, specs,
+                                          executor)
+        return ConversionResult(
+            target=target,
+            outputs=[s.out_path for s in specs],
+            rank_metrics=rank_metrics,
+            records=sum(m.records for m in rank_metrics),
+            emitted=sum(m.emitted for m in rank_metrics),
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+
+def convert_bam_direct(bam_path: str | os.PathLike[str], target: str,
+                       out_path: str | os.PathLike[str]) -> ConversionResult:
+    """Sequential BAM -> * conversion without preprocessing.
+
+    This is "our system without preprocessing" in Table I: the BGZF
+    stream is decoded front-to-back on one core and converted on the
+    fly.
+    """
+    t0 = time.perf_counter()
+    metrics = RankMetrics()
+    bam_path = os.fspath(bam_path)
+    out_path = os.fspath(out_path)
+    with BamReader(bam_path) as reader:
+        target_plugin = bind_target(get_target(target), reader.header)
+        metrics.bytes_read += os.path.getsize(bam_path)
+        _write_target(iter(reader), target_plugin, reader.header, out_path,
+                      metrics)
+    rank = finish_rank_metrics(metrics, t0)
+    return ConversionResult(
+        target=target,
+        outputs=[out_path],
+        rank_metrics=[rank],
+        records=rank.records,
+        emitted=rank.emitted,
+        wall_seconds=time.perf_counter() - t0,
+    )

@@ -1,0 +1,125 @@
+"""Record filters: flag/MAPQ-conditioned conversion.
+
+Another of the paper's "more partial conversion types": besides
+selecting *where* (a region), users routinely select *which* records —
+primary only, mapped only, a MAPQ floor, flag masks (the semantics of
+``samtools view -f/-F/-q``).  A :class:`RecordFilter` is a small
+picklable value object converters can apply on every rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConversionError
+from ..formats.flags import MAX_FLAG, Flag
+from ..formats.record import AlignmentRecord
+
+
+@dataclass(frozen=True, slots=True)
+class RecordFilter:
+    """Predicate over alignment records.
+
+    Attributes
+    ----------
+    require_flags:
+        Every bit set here must be set in the record (``-f``).
+    exclude_flags:
+        No bit set here may be set in the record (``-F``).
+    min_mapq:
+        Minimum mapping quality (``-q``); unmapped records have MAPQ 0
+        and are excluded by any positive floor unless also mapped.
+    primary_only:
+        Drop secondary and supplementary lines.
+    mapped_only:
+        Drop unmapped records.
+    """
+
+    require_flags: int = 0
+    exclude_flags: int = 0
+    min_mapq: int = 0
+    primary_only: bool = False
+    mapped_only: bool = False
+
+    def __post_init__(self) -> None:
+        for label, value in (("require_flags", self.require_flags),
+                             ("exclude_flags", self.exclude_flags)):
+            if not 0 <= value <= MAX_FLAG:
+                raise ConversionError(
+                    f"{label} {value:#x} outside the 12 defined flag "
+                    f"bits")
+        if not 0 <= self.min_mapq <= 255:
+            raise ConversionError(
+                f"min_mapq {self.min_mapq} outside [0, 255]")
+        if self.require_flags & self.exclude_flags:
+            raise ConversionError(
+                "require_flags and exclude_flags overlap: no record "
+                "can match")
+
+    def matches(self, record: AlignmentRecord) -> bool:
+        """True when the record passes every condition."""
+        flag = record.flag
+        if flag & self.require_flags != self.require_flags:
+            return False
+        if flag & self.exclude_flags:
+            return False
+        if self.primary_only and flag & (Flag.SECONDARY
+                                         | Flag.SUPPLEMENTARY):
+            return False
+        if self.mapped_only and flag & Flag.UNMAPPED:
+            return False
+        if record.mapq < self.min_mapq:
+            return False
+        return True
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the filter accepts everything."""
+        return (self.require_flags == 0 and self.exclude_flags == 0
+                and self.min_mapq == 0 and not self.primary_only
+                and not self.mapped_only)
+
+    def apply(self, records):
+        """Lazily filter an iterable of records."""
+        if self.is_noop:
+            yield from records
+            return
+        for record in records:
+            if self.matches(record):
+                yield record
+
+
+#: Filter accepting every record (the converters' default).
+ACCEPT_ALL = RecordFilter()
+
+
+def parse_filter_expr(expr: str) -> RecordFilter:
+    """Parse a compact CLI filter expression.
+
+    Comma-separated clauses: ``f=<int>`` (require flags), ``F=<int>``
+    (exclude flags), ``q=<int>`` (min MAPQ), ``primary``, ``mapped``.
+    Flag values accept decimal or 0x-prefixed hex.  Example:
+    ``"q=30,F=0x400,primary"``.
+    """
+    require = exclude = 0
+    mapq = 0
+    primary = mapped = False
+    for clause in expr.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if clause == "primary":
+            primary = True
+        elif clause == "mapped":
+            mapped = True
+        elif clause.startswith("f="):
+            require = int(clause[2:], 0)
+        elif clause.startswith("F="):
+            exclude = int(clause[2:], 0)
+        elif clause.startswith("q="):
+            mapq = int(clause[2:], 0)
+        else:
+            raise ConversionError(
+                f"unknown filter clause {clause!r} (want f=, F=, q=, "
+                f"primary, mapped)")
+    return RecordFilter(require, exclude, mapq, primary, mapped)

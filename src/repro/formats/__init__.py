@@ -1,0 +1,51 @@
+"""Sequence data format substrate: SAM, BAM, BGZF, BAI, BAMX, BAIX,
+BED, BEDGRAPH, FASTA, FASTQ, WIG, JSON, YAML.
+
+Every reader produces the canonical
+:class:`~repro.formats.record.AlignmentRecord`; every writer and target
+plugin consumes it.
+"""
+
+from .bai import BaiIndex
+from .baix import BaixIndex
+from .bam import BamReader, BamWriter, read_bam, write_bam
+from .bamx import BamxLayout, BamxReader, BamxWriter, plan_layout, \
+    read_bamx, write_bamx
+from .bamz import BamzReader, BamzWriter, read_bamz, write_bamz
+from .bed import BedInterval, read_bed, write_bed
+from .bedgraph import BedGraphInterval, compress_runs, read_bedgraph, \
+    write_bedgraph
+from .bgzf import BgzfReader, BgzfWriter
+from .bgzf_threads import ThreadedBgzfWriter
+from .binning import reg2bin, reg2bins
+from .fasta import FastaIndex, FastaRecord, read_fasta, write_fasta
+from .fastq import FastqRecord, read_fastq, write_fastq
+from .header import HeaderLine, Reference, SamHeader
+from .record import UNMAPPED_POS, AlignmentRecord
+from .registry import SOURCE_FORMATS, TARGET_FORMATS, detect_format, \
+    get_format, list_formats
+from .sam import SamReader, SamWriter, format_alignment, parse_alignment, \
+    read_sam, write_sam
+from .store import open_record_store
+from .tags import Tag
+
+__all__ = [
+    "AlignmentRecord", "UNMAPPED_POS", "Tag",
+    "SamHeader", "HeaderLine", "Reference",
+    "SamReader", "SamWriter", "parse_alignment", "format_alignment",
+    "read_sam", "write_sam",
+    "BamReader", "BamWriter", "read_bam", "write_bam",
+    "BgzfReader", "BgzfWriter", "ThreadedBgzfWriter",
+    "BaiIndex", "reg2bin", "reg2bins",
+    "BamxLayout", "BamxReader", "BamxWriter", "plan_layout",
+    "read_bamx", "write_bamx",
+    "BamzReader", "BamzWriter", "read_bamz", "write_bamz",
+    "open_record_store",
+    "BaixIndex",
+    "BedInterval", "read_bed", "write_bed",
+    "BedGraphInterval", "compress_runs", "read_bedgraph", "write_bedgraph",
+    "FastaRecord", "FastaIndex", "read_fasta", "write_fasta",
+    "FastqRecord", "read_fastq", "write_fastq",
+    "get_format", "detect_format", "list_formats",
+    "SOURCE_FORMATS", "TARGET_FORMATS",
+]

@@ -1,0 +1,194 @@
+"""BAI: the standard BAM index (SAM spec §4.2).
+
+A BAI file stores, per reference, an R-tree-flavoured binning index
+(bin number -> list of virtual-offset chunks) plus a 16 kbp linear index
+used to prune chunks that end before a query region could start.  This
+module can build a BAI from any coordinate-sorted BAM, serialize/parse the
+on-disk format, and drive region queries against a
+:class:`~repro.formats.bam.BamReader`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from ..errors import BamFormatError, IndexError_
+from .bam import BamReader
+from .binning import LINEAR_SHIFT, reg2bin, reg2bins
+from .record import AlignmentRecord
+
+MAGIC = b"BAI\x01"
+
+#: A chunk is a half-open range of virtual offsets [beg, end).
+Chunk = tuple[int, int]
+
+
+@dataclass(slots=True)
+class RefIndex:
+    """Index data for one reference sequence."""
+
+    bins: dict[int, list[Chunk]] = field(default_factory=dict)
+    linear: list[int] = field(default_factory=list)
+
+    def add(self, bin_no: int, chunk: Chunk) -> None:
+        """Record *chunk* under *bin_no*, merging with a touching tail."""
+        chunks = self.bins.setdefault(bin_no, [])
+        if chunks and chunks[-1][1] == chunk[0]:
+            chunks[-1] = (chunks[-1][0], chunk[1])
+        else:
+            chunks.append(chunk)
+
+    def note_linear(self, window: int, voffset: int) -> None:
+        """Record the smallest record start offset for a linear window."""
+        if window >= len(self.linear):
+            self.linear.extend([0] * (window + 1 - len(self.linear)))
+        if self.linear[window] == 0 or voffset < self.linear[window]:
+            self.linear[window] = voffset
+
+
+class BaiIndex:
+    """Whole-file BAM index: one :class:`RefIndex` per reference."""
+
+    def __init__(self, refs: list[RefIndex]) -> None:
+        self.refs = refs
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(cls, reader: BamReader) -> "BaiIndex":
+        """Build an index by scanning *reader* from its current position.
+
+        The BAM must be coordinate-sorted; unsorted input raises
+        :class:`~repro.errors.IndexError_` because chunk merging and the
+        linear index are only meaningful on sorted data.
+        """
+        refs = [RefIndex() for _ in reader.header.references]
+        last_key: tuple[int, int] | None = None
+        for voffset, record in reader.iter_with_offsets():
+            if record.rname == "*" or record.pos < 0:
+                continue  # unplaced records are not indexed
+            ref_id = reader.header.ref_id(record.rname)
+            key = (ref_id, record.pos)
+            if last_key is not None and key < last_key:
+                raise IndexError_(
+                    "cannot build BAI over a BAM that is not "
+                    "coordinate-sorted")
+            last_key = key
+            end = record.end
+            bin_no = reg2bin(record.pos, end)
+            # The record occupies [voffset, next record's voffset); using
+            # the BGZF cursor after decode as the chunk end is exact.
+            next_off = reader._bgzf.tell()
+            ref = refs[ref_id]
+            ref.add(bin_no, (voffset, next_off))
+            for window in range(record.pos >> LINEAR_SHIFT,
+                                ((max(end, record.pos + 1) - 1)
+                                 >> LINEAR_SHIFT) + 1):
+                ref.note_linear(window, voffset)
+        return cls(refs)
+
+    @classmethod
+    def from_bam(cls, path: str | os.PathLike[str]) -> "BaiIndex":
+        """Open *path* and build its index."""
+        with BamReader(path) as reader:
+            return cls.build(reader)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Write the index in the standard on-disk BAI layout."""
+        with open(path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(struct.pack("<i", len(self.refs)))
+            for ref in self.refs:
+                fh.write(struct.pack("<i", len(ref.bins)))
+                for bin_no in sorted(ref.bins):
+                    chunks = ref.bins[bin_no]
+                    fh.write(struct.pack("<Ii", bin_no, len(chunks)))
+                    for beg, end in chunks:
+                        fh.write(struct.pack("<QQ", beg, end))
+                fh.write(struct.pack("<i", len(ref.linear)))
+                for voffset in ref.linear:
+                    fh.write(struct.pack("<Q", voffset))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "BaiIndex":
+        """Parse an on-disk BAI file."""
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if data[:4] != MAGIC:
+            raise BamFormatError("bad BAI magic", source=os.fspath(path))
+        off = 4
+        (n_ref,) = struct.unpack_from("<i", data, off)
+        off += 4
+        refs = []
+        for _ in range(n_ref):
+            ref = RefIndex()
+            (n_bin,) = struct.unpack_from("<i", data, off)
+            off += 4
+            for _ in range(n_bin):
+                bin_no, n_chunk = struct.unpack_from("<Ii", data, off)
+                off += 8
+                chunks = []
+                for _ in range(n_chunk):
+                    beg, end = struct.unpack_from("<QQ", data, off)
+                    off += 16
+                    chunks.append((beg, end))
+                ref.bins[bin_no] = chunks
+            (n_intv,) = struct.unpack_from("<i", data, off)
+            off += 4
+            ref.linear = list(struct.unpack_from(f"<{n_intv}Q", data, off))
+            off += 8 * n_intv
+            refs.append(ref)
+        return cls(refs)
+
+    # -- queries -----------------------------------------------------------
+
+    def candidate_chunks(self, ref_id: int, beg: int, end: int,
+                         ) -> list[Chunk]:
+        """Merged, sorted chunks that may contain records overlapping
+        ``[beg, end)`` on reference *ref_id*."""
+        if not 0 <= ref_id < len(self.refs):
+            raise IndexError_(f"reference id {ref_id} not in index")
+        ref = self.refs[ref_id]
+        window = beg >> LINEAR_SHIFT
+        min_off = ref.linear[window] if window < len(ref.linear) else 0
+        chunks = []
+        for bin_no in reg2bins(beg, end):
+            for chunk in ref.bins.get(bin_no, ()):
+                if chunk[1] > min_off:
+                    chunks.append(chunk)
+        chunks.sort()
+        merged: list[Chunk] = []
+        for chunk in chunks:
+            if merged and chunk[0] <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], chunk[1]))
+            else:
+                merged.append(chunk)
+        return merged
+
+    def fetch(self, reader: BamReader, rname: str, beg: int, end: int,
+              ) -> Iterator[AlignmentRecord]:
+        """Yield records overlapping ``[beg, end)`` (0-based half-open) on
+        reference *rname*, using *reader* for the actual record I/O."""
+        ref_id = reader.header.ref_id(rname)
+        for chunk_beg, chunk_end in self.candidate_chunks(ref_id, beg, end):
+            reader.seek_virtual(chunk_beg)
+            while reader._bgzf.tell() < chunk_end:
+                record = reader._read_one()
+                if record is None:
+                    break
+                if record.rname != rname:
+                    continue
+                if record.pos >= end:
+                    break
+                if record.end > beg:
+                    yield record
+
+
+def default_index_path(bam_path: str | os.PathLike[str]) -> str:
+    """The conventional sibling index path, ``<bam>.bai``."""
+    return os.fspath(bam_path) + ".bai"

@@ -1,0 +1,347 @@
+"""BAMX ("BAM eXtended"): the paper's fixed-record-length binary format.
+
+The whole point of BAMX (§III-B of the paper) is that every record
+occupies exactly ``layout.record_size`` bytes: variable-length fields
+(read name, CIGAR, sequence, qualities, tags) are padded to per-file
+capacities recorded in the header.  Record *i* therefore lives at
+``data_offset + i * record_size``, giving O(1) random access — which is
+what makes equal-record partitioning and partial conversion possible in
+the parallel phase.
+
+File layout::
+
+    magic "BAMX\\x01"
+    u32  header_length          (bytes of everything before record data)
+    u32  name_cap  u32 cigar_cap  u32 seq_cap  u32 tag_cap
+    u64  record_count
+    u32  sam_header_text_length
+    ...  SAM header text (ASCII, carries the reference dictionary)
+    ...  records, each exactly record_size bytes
+
+Records are *uncompressed* — the paper defers compression to future
+work — so the padding trades disk space for layout regularity.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from ..errors import BamxFormatError, CapacityError
+from .bam import MAGIC as _BAM_MAGIC  # noqa: F401  (kept for format docs)
+from .cigar import decode_ops, encode_ops
+from .header import SamHeader
+from .record import UNMAPPED_POS, AlignmentRecord
+from .seq import pack_sequence, qual_bytes_to_text, qual_text_to_bytes, \
+    unpack_sequence
+from .tags import decode_tags, encode_tags
+
+MAGIC = b"BAMX\x01"
+
+_FIXED = struct.Struct("<iiBBHHiiiiH")
+# ref_id, pos, mapq, name_len, flag, n_cigar, l_seq,
+# next_ref, next_pos, tlen, tag_len
+
+
+@dataclass(frozen=True, slots=True)
+class BamxLayout:
+    """Per-file field capacities defining the fixed record size.
+
+    Attributes
+    ----------
+    name_cap:
+        Maximum read-name length in bytes (without NUL).
+    cigar_cap:
+        Maximum number of CIGAR operations.
+    seq_cap:
+        Maximum sequence length in bases.
+    tag_cap:
+        Maximum encoded tag-block length in bytes.
+    """
+
+    name_cap: int
+    cigar_cap: int
+    seq_cap: int
+    tag_cap: int
+    #: Size in bytes of every record under this layout (derived).
+    record_size: int = field(init=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        for label, value in (("name_cap", self.name_cap),
+                             ("cigar_cap", self.cigar_cap),
+                             ("seq_cap", self.seq_cap),
+                             ("tag_cap", self.tag_cap)):
+            if value < 0:
+                raise BamxFormatError(f"negative {label}: {value}")
+        if self.name_cap > 254:
+            raise BamxFormatError("name_cap exceeds SAM's 254-byte limit")
+        object.__setattr__(
+            self, "record_size",
+            _FIXED.size + self.name_cap + 4 * self.cigar_cap
+            + (self.seq_cap + 1) // 2 + self.seq_cap + self.tag_cap)
+
+    def merge(self, other: "BamxLayout") -> "BamxLayout":
+        """Smallest layout accommodating records of both layouts."""
+        return BamxLayout(max(self.name_cap, other.name_cap),
+                          max(self.cigar_cap, other.cigar_cap),
+                          max(self.seq_cap, other.seq_cap),
+                          max(self.tag_cap, other.tag_cap))
+
+    # -- record codec ----------------------------------------------------
+
+    def encode(self, record: AlignmentRecord, header: SamHeader) -> bytes:
+        """Encode one record to exactly :attr:`record_size` bytes."""
+        name = record.qname.encode("ascii")
+        if len(name) > self.name_cap:
+            raise CapacityError(
+                f"read name of {len(name)} bytes exceeds layout "
+                f"capacity {self.name_cap}")
+        cigar_words = encode_ops(record.cigar)
+        if len(cigar_words) > self.cigar_cap:
+            raise CapacityError(
+                f"{len(cigar_words)} CIGAR ops exceed layout capacity "
+                f"{self.cigar_cap}")
+        l_seq = 0 if record.seq == "*" else len(record.seq)
+        if l_seq > self.seq_cap:
+            raise CapacityError(
+                f"sequence of {l_seq} bases exceeds layout capacity "
+                f"{self.seq_cap}")
+        tag_block = encode_tags(record.tags)
+        if len(tag_block) > self.tag_cap:
+            raise CapacityError(
+                f"tag block of {len(tag_block)} bytes exceeds layout "
+                f"capacity {self.tag_cap}")
+        ref_id = -1 if record.rname == "*" else header.ref_id(record.rname)
+        if record.rnext == "*":
+            next_ref = -1
+        elif record.rnext == "=":
+            next_ref = ref_id
+        else:
+            next_ref = header.ref_id(record.rnext)
+        out = bytearray(self.record_size)
+        _FIXED.pack_into(
+            out, 0,
+            ref_id, record.pos, record.mapq, len(name), record.flag,
+            len(cigar_words), l_seq, next_ref, record.pnext, record.tlen,
+            len(tag_block))
+        off = _FIXED.size
+        out[off:off + len(name)] = name
+        off += self.name_cap
+        struct.pack_into(f"<{len(cigar_words)}I", out, off, *cigar_words)
+        off += 4 * self.cigar_cap
+        seq_bytes = (self.seq_cap + 1) // 2
+        if l_seq:
+            packed = pack_sequence(record.seq)
+            out[off:off + len(packed)] = packed
+        off += seq_bytes
+        if l_seq:
+            if record.qual == "*":
+                out[off:off + l_seq] = b"\xff" * l_seq
+            else:
+                if len(record.qual) != l_seq:
+                    raise BamxFormatError(
+                        f"QUAL length {len(record.qual)} != SEQ length "
+                        f"{l_seq}")
+                out[off:off + l_seq] = qual_text_to_bytes(record.qual)
+        off += self.seq_cap
+        out[off:off + len(tag_block)] = tag_block
+        return bytes(out)
+
+    def decode(self, data: bytes, header: SamHeader,
+               offset: int = 0) -> AlignmentRecord:
+        """Decode one record from *data* starting at *offset*."""
+        if len(data) - offset < self.record_size:
+            raise BamxFormatError("truncated BAMX record")
+        (ref_id, pos, mapq, name_len, flag, n_cigar, l_seq,
+         next_ref, next_pos, tlen, tag_len) = _FIXED.unpack_from(data, offset)
+        off = offset + _FIXED.size
+        name = data[off:off + name_len].decode("ascii")
+        off += self.name_cap
+        cigar_words = struct.unpack_from(f"<{n_cigar}I", data, off)
+        off += 4 * self.cigar_cap
+        seq = unpack_sequence(data[off:off + (l_seq + 1) // 2], l_seq) \
+            if l_seq else "*"
+        off += (self.seq_cap + 1) // 2
+        qual_raw = data[off:off + l_seq]
+        off += self.seq_cap
+        if l_seq == 0 or not qual_raw.strip(b"\xff"):
+            qual = "*"
+        else:
+            qual = qual_bytes_to_text(qual_raw)
+        tags = decode_tags(data[off:off + tag_len])
+        rname = "*" if ref_id < 0 else header.ref_name(ref_id)
+        if next_ref < 0:
+            rnext = "*"
+        elif next_ref == ref_id:
+            rnext = "="
+        else:
+            rnext = header.ref_name(next_ref)
+        return AlignmentRecord(
+            qname=name, flag=flag, rname=rname,
+            pos=pos if pos >= 0 else UNMAPPED_POS,
+            mapq=mapq, cigar=decode_ops(list(cigar_words)),
+            rnext=rnext,
+            pnext=next_pos if next_pos >= 0 else UNMAPPED_POS,
+            tlen=tlen, seq=seq, qual=qual, tags=tags)
+
+
+def plan_layout(records: Iterable[AlignmentRecord]) -> BamxLayout:
+    """Scan records and compute the tightest layout that fits them all.
+
+    This is the first pass of the paper's preprocessing phase.
+    """
+    name_cap = cigar_cap = seq_cap = tag_cap = 0
+    for record in records:
+        name_cap = max(name_cap, len(record.qname))
+        cigar_cap = max(cigar_cap, len(record.cigar))
+        if record.seq != "*":
+            seq_cap = max(seq_cap, len(record.seq))
+        tag_cap = max(tag_cap, len(encode_tags(record.tags)))
+    return BamxLayout(name_cap, cigar_cap, seq_cap, tag_cap)
+
+
+class BamxWriter:
+    """Write a BAMX file with a pre-planned :class:`BamxLayout`."""
+
+    def __init__(self, target: str | os.PathLike[str], header: SamHeader,
+                 layout: BamxLayout) -> None:
+        self._fh: io.BufferedWriter = open(target, "wb")  # noqa: SIM115
+        self.header = header
+        self.layout = layout
+        self.records_written = 0
+        text = header.to_text().encode("ascii")
+        head = MAGIC + struct.pack(
+            "<IIIIIQI",
+            0,  # header_length placeholder, fixed up on close
+            layout.name_cap, layout.cigar_cap, layout.seq_cap,
+            layout.tag_cap, 0, len(text))
+        self._header_struct_size = len(head)
+        self._fh.write(head)
+        self._fh.write(text)
+        self._data_offset = self._fh.tell()
+
+    def __enter__(self) -> "BamxWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def write(self, record: AlignmentRecord) -> int:
+        """Append one record; return its 0-based record index."""
+        self._fh.write(self.layout.encode(record, self.header))
+        index = self.records_written
+        self.records_written += 1
+        return index
+
+    def write_all(self, records: Iterable[AlignmentRecord]) -> int:
+        """Append every record; return the count written by this call."""
+        n = 0
+        for record in records:
+            self.write(record)
+            n += 1
+        return n
+
+    def close(self) -> None:
+        """Fix up header_length / record_count and close the file."""
+        if self._fh.closed:
+            return
+        self._fh.seek(len(MAGIC))
+        self._fh.write(struct.pack("<I", self._data_offset))
+        self._fh.seek(len(MAGIC) + 4 + 16)
+        self._fh.write(struct.pack("<Q", self.records_written))
+        self._fh.close()
+
+
+class BamxReader:
+    """Random-access BAMX reader: ``len()``, ``[i]``, slices, iteration."""
+
+    def __init__(self, source: str | os.PathLike[str]) -> None:
+        self.source_name = os.fspath(source)
+        self._fh: io.BufferedReader = open(source, "rb")  # noqa: SIM115
+        magic = self._fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise BamxFormatError("bad BAMX magic", source=self.source_name)
+        (self._data_offset, name_cap, cigar_cap, seq_cap, tag_cap,
+         self._count, text_len) = struct.unpack(
+            "<IIIIIQI", self._fh.read(struct.calcsize("<IIIIIQI")))
+        self.layout = BamxLayout(name_cap, cigar_cap, seq_cap, tag_cap)
+        text = self._fh.read(text_len).decode("ascii")
+        self.header = SamHeader.from_text(text)
+        size = os.fstat(self._fh.fileno()).st_size
+        expected = self._data_offset + self._count * self.layout.record_size
+        if size < expected:
+            raise BamxFormatError(
+                f"file is {size} bytes but layout implies {expected}",
+                source=self.source_name)
+
+    def __enter__(self) -> "BamxReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._fh.close()
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: int) -> AlignmentRecord:
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(f"record index {index} out of range "
+                             f"[0, {self._count})")
+        self._fh.seek(self._data_offset
+                      + index * self.layout.record_size)
+        data = self._fh.read(self.layout.record_size)
+        return self.layout.decode(data, self.header)
+
+    def read_range(self, start: int, stop: int,
+                   ) -> Iterator[AlignmentRecord]:
+        """Yield records ``start <= i < stop`` with one buffered scan."""
+        if not 0 <= start <= stop <= self._count:
+            raise BamxFormatError(
+                f"record range [{start}, {stop}) outside [0, {self._count})")
+        rsize = self.layout.record_size
+        self._fh.seek(self._data_offset + start * rsize)
+        # Read in ~4 MiB slabs so huge ranges don't balloon memory.
+        per_slab = max(1, (4 << 20) // max(rsize, 1))
+        remaining = stop - start
+        while remaining > 0:
+            n = min(per_slab, remaining)
+            data = self._fh.read(n * rsize)
+            if len(data) != n * rsize:
+                raise BamxFormatError("truncated BAMX data region",
+                                      source=self.source_name)
+            for i in range(n):
+                yield self.layout.decode(data, self.header, i * rsize)
+            remaining -= n
+
+    def __iter__(self) -> Iterator[AlignmentRecord]:
+        return self.read_range(0, self._count)
+
+
+def write_bamx(path: str | os.PathLike[str], header: SamHeader,
+               records: list[AlignmentRecord],
+               layout: BamxLayout | None = None) -> BamxLayout:
+    """Write *records* to a BAMX file, planning the layout if not given.
+
+    Returns the layout actually used.
+    """
+    if layout is None:
+        layout = plan_layout(records)
+    with BamxWriter(path, header, layout) as writer:
+        writer.write_all(records)
+    return layout
+
+
+def read_bamx(path: str | os.PathLike[str],
+              ) -> tuple[SamHeader, list[AlignmentRecord]]:
+    """Read an entire BAMX file into memory: ``(header, records)``."""
+    with BamxReader(path) as reader:
+        return reader.header, list(reader)

@@ -1,0 +1,212 @@
+"""BAMZ: BGZF-compressed BAMX (the paper's future work, §VII).
+
+The paper's conclusions propose "utiliz[ing] certain compression
+techniques during the BAMX/BAIX file generation".  BAMZ implements
+that: the same fixed-length records as BAMX, but stored inside a BGZF
+stream so the padding costs (almost) nothing on disk.  Random access is
+preserved with a sidecar ``.bzi`` index holding each record's BGZF
+virtual offset (8 bytes per record) — record *i* is one
+``seek_virtual`` plus one fixed-size read away.
+
+File layout (all inside the BGZF stream)::
+
+    magic "BAMZ\\x01"
+    u32 name_cap  u32 cigar_cap  u32 seq_cap  u32 tag_cap
+    u64 record_count
+    u32 sam_header_text_length
+    ... SAM header text
+    ... records, each layout.record_size bytes
+
+Sidecar ``<path>.bzi``::
+
+    magic "BZI\\x01"
+    u64 record_count
+    u64[record_count] virtual offsets
+
+:class:`BamzReader` exposes the same interface as
+:class:`~repro.formats.bamx.BamxReader` (``len``, ``[i]``,
+``read_range``, iteration, ``.header``, ``.layout``), so converters can
+use either store interchangeably.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import BamxFormatError, IndexError_
+from .bamx import BamxLayout, plan_layout
+from .bgzf import BgzfReader, BgzfWriter
+from .header import SamHeader
+from .record import AlignmentRecord
+
+MAGIC = b"BAMZ\x01"
+INDEX_MAGIC = b"BZI\x01"
+
+_HEAD = struct.Struct("<IIIIQI")
+
+
+def index_path_for(bamz_path: str | os.PathLike[str]) -> str:
+    """The conventional sidecar index path, ``<bamz>.bzi``."""
+    return os.fspath(bamz_path) + ".bzi"
+
+
+class BamzWriter:
+    """Write a BAMZ file plus its ``.bzi`` virtual-offset index."""
+
+    def __init__(self, target: str | os.PathLike[str], header: SamHeader,
+                 layout: BamxLayout, level: int = 6) -> None:
+        self.path = os.fspath(target)
+        self.header = header
+        self.layout = layout
+        self._bgzf = BgzfWriter(self.path, level=level)
+        self._voffsets: list[int] = []
+        text = header.to_text().encode("ascii")
+        head = MAGIC + _HEAD.pack(layout.name_cap, layout.cigar_cap,
+                                  layout.seq_cap, layout.tag_cap,
+                                  0, len(text))
+        self._bgzf.write(head)
+        self._bgzf.write(text)
+        self.records_written = 0
+
+    def __enter__(self) -> "BamzWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def write(self, record: AlignmentRecord) -> int:
+        """Append one record; return its 0-based record index."""
+        self._voffsets.append(self._bgzf.tell())
+        self._bgzf.write(self.layout.encode(record, self.header))
+        index = self.records_written
+        self.records_written += 1
+        return index
+
+    def write_all(self, records: Iterable[AlignmentRecord]) -> int:
+        """Append every record; return the count written by this call."""
+        n = 0
+        for record in records:
+            self.write(record)
+            n += 1
+        return n
+
+    def close(self) -> None:
+        """Finish the BGZF stream and write the sidecar index.
+
+        The record count inside the BGZF header cannot be patched after
+        compression, so the authoritative count lives in the index; the
+        reader cross-checks the two.
+        """
+        if self._bgzf.closed:
+            return
+        self._bgzf.close()
+        with open(index_path_for(self.path), "wb") as fh:
+            fh.write(INDEX_MAGIC)
+            fh.write(struct.pack("<Q", len(self._voffsets)))
+            fh.write(np.asarray(self._voffsets,
+                                dtype="<u8").tobytes())
+
+
+class BamzReader:
+    """Random-access BAMZ reader (BamxReader-compatible interface)."""
+
+    def __init__(self, source: str | os.PathLike[str],
+                 index_path: str | os.PathLike[str] | None = None) -> None:
+        self.source_name = os.fspath(source)
+        self._bgzf = BgzfReader(source)
+        magic = self._bgzf.read(len(MAGIC))
+        if magic != MAGIC:
+            raise BamxFormatError("bad BAMZ magic",
+                                  source=self.source_name)
+        (name_cap, cigar_cap, seq_cap, tag_cap, _count,
+         text_len) = _HEAD.unpack(self._bgzf.read_exactly(_HEAD.size))
+        self.layout = BamxLayout(name_cap, cigar_cap, seq_cap, tag_cap)
+        text = self._bgzf.read_exactly(text_len).decode("ascii")
+        self.header = SamHeader.from_text(text)
+        self._first_voffset = self._bgzf.tell()
+        if index_path is None:
+            index_path = index_path_for(source)
+        self._voffsets = _load_index(index_path)
+        self._count = len(self._voffsets)
+        if self._count and self._voffsets[0] != self._first_voffset:
+            raise IndexError_(
+                f"index {os.fspath(index_path)} does not match "
+                f"{self.source_name} (first record offset differs)")
+
+    def __enter__(self) -> "BamzReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying BGZF stream."""
+        self._bgzf.close()
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: int) -> AlignmentRecord:
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(f"record index {index} out of range "
+                             f"[0, {self._count})")
+        self._bgzf.seek_virtual(int(self._voffsets[index]))
+        data = self._bgzf.read_exactly(self.layout.record_size)
+        return self.layout.decode(data, self.header)
+
+    def read_range(self, start: int, stop: int,
+                   ) -> Iterator[AlignmentRecord]:
+        """Yield records ``start <= i < stop``, decoding sequentially
+        from one seek."""
+        if not 0 <= start <= stop <= self._count:
+            raise BamxFormatError(
+                f"record range [{start}, {stop}) outside "
+                f"[0, {self._count})")
+        if start == stop:
+            return
+        self._bgzf.seek_virtual(int(self._voffsets[start]))
+        rsize = self.layout.record_size
+        for _ in range(stop - start):
+            data = self._bgzf.read_exactly(rsize)
+            yield self.layout.decode(data, self.header)
+
+    def __iter__(self) -> Iterator[AlignmentRecord]:
+        return self.read_range(0, self._count)
+
+
+def _load_index(path: str | os.PathLike[str]) -> np.ndarray:
+    with open(path, "rb") as fh:
+        magic = fh.read(len(INDEX_MAGIC))
+        if magic != INDEX_MAGIC:
+            raise IndexError_(f"bad BZI magic in {os.fspath(path)}")
+        (count,) = struct.unpack("<Q", fh.read(8))
+        data = np.frombuffer(fh.read(8 * count), dtype="<u8")
+    if len(data) != count:
+        raise IndexError_(f"truncated BZI index {os.fspath(path)}")
+    return data
+
+
+def write_bamz(path: str | os.PathLike[str], header: SamHeader,
+               records: list[AlignmentRecord],
+               layout: BamxLayout | None = None,
+               level: int = 6) -> BamxLayout:
+    """Write *records* to a BAMZ file (+ index), planning the layout if
+    not given.  Returns the layout used."""
+    if layout is None:
+        layout = plan_layout(records)
+    with BamzWriter(path, header, layout, level=level) as writer:
+        writer.write_all(records)
+    return layout
+
+
+def read_bamz(path: str | os.PathLike[str],
+              ) -> tuple[SamHeader, list[AlignmentRecord]]:
+    """Read an entire BAMZ file into memory: ``(header, records)``."""
+    with BamzReader(path) as reader:
+        return reader.header, list(reader)

@@ -1,0 +1,89 @@
+"""BED (Browser Extensible Data) format.
+
+BED lines are tab-delimited with 3 mandatory columns (chrom, 0-based
+start, exclusive end) and up to 9 optional columns; this module models
+the first six (through *strand*), which is what alignment export uses.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..errors import FormatError
+
+
+@dataclass(slots=True)
+class BedInterval:
+    """One BED feature (BED6 subset)."""
+
+    chrom: str
+    start: int
+    end: int
+    name: str = "."
+    score: float = 0.0
+    strand: str = "."
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise FormatError(
+                f"invalid BED interval {self.chrom}:{self.start}-{self.end}")
+        if self.strand not in (".", "+", "-"):
+            raise FormatError(f"invalid BED strand {self.strand!r}")
+
+
+def format_interval(iv: BedInterval, columns: int = 6) -> str:
+    """Render one interval with the first *columns* fields (3..6)."""
+    if not 3 <= columns <= 6:
+        raise ValueError("BED column count must be between 3 and 6")
+    score = int(iv.score) if float(iv.score).is_integer() else iv.score
+    cols = [iv.chrom, str(iv.start), str(iv.end), iv.name, str(score),
+            iv.strand]
+    return "\t".join(cols[:columns])
+
+
+def parse_interval(line: str, *, lineno: int | None = None) -> BedInterval:
+    """Parse one BED line (3 to 6 columns)."""
+    cols = line.rstrip("\n").split("\t")
+    if len(cols) < 3:
+        raise FormatError(f"BED line has {len(cols)} columns, expected >= 3",
+                          lineno=lineno)
+    try:
+        start, end = int(cols[1]), int(cols[2])
+    except ValueError:
+        raise FormatError("non-integer BED coordinates", lineno=lineno) \
+            from None
+    name = cols[3] if len(cols) > 3 else "."
+    score = float(cols[4]) if len(cols) > 4 else 0.0
+    strand = cols[5] if len(cols) > 5 else "."
+    return BedInterval(cols[0], start, end, name, score, strand)
+
+
+def iter_bed(stream: io.TextIOBase) -> Iterator[BedInterval]:
+    """Parse intervals from a stream, skipping track/browser/comment
+    lines."""
+    for lineno, line in enumerate(stream, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("#", "track", "browser")):
+            continue
+        yield parse_interval(line, lineno=lineno)
+
+
+def read_bed(path: str | os.PathLike[str]) -> list[BedInterval]:
+    """Read every interval of a BED file into memory."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(iter_bed(fh))
+
+
+def write_bed(path: str | os.PathLike[str], intervals: Iterable[BedInterval],
+              columns: int = 6) -> int:
+    """Write intervals to *path*; return the count written."""
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for iv in intervals:
+            fh.write(format_interval(iv, columns))
+            fh.write("\n")
+            n += 1
+    return n

@@ -1,0 +1,103 @@
+"""BEDGRAPH format: per-interval numeric scores over the genome.
+
+A BEDGRAPH line is ``chrom<TAB>start<TAB>end<TAB>value`` with 0-based
+half-open coordinates; consecutive positions sharing a value are collapsed
+into one interval, which is what makes the format compact for coverage
+histograms (the paper's §IV input).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..errors import FormatError
+
+
+@dataclass(slots=True)
+class BedGraphInterval:
+    """One scored interval."""
+
+    chrom: str
+    start: int
+    end: int
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise FormatError(
+                f"invalid BEDGRAPH interval "
+                f"{self.chrom}:{self.start}-{self.end}")
+
+
+def format_interval(iv: BedGraphInterval) -> str:
+    """Render one interval (integers rendered without decimal point)."""
+    value = int(iv.value) if float(iv.value).is_integer() else iv.value
+    return f"{iv.chrom}\t{iv.start}\t{iv.end}\t{value}"
+
+
+def parse_interval(line: str, *, lineno: int | None = None,
+                   ) -> BedGraphInterval:
+    """Parse one BEDGRAPH line."""
+    cols = line.rstrip("\n").split("\t")
+    if len(cols) != 4:
+        raise FormatError(
+            f"BEDGRAPH line has {len(cols)} columns, expected 4",
+            lineno=lineno)
+    try:
+        return BedGraphInterval(cols[0], int(cols[1]), int(cols[2]),
+                                float(cols[3]))
+    except ValueError:
+        raise FormatError("non-numeric BEDGRAPH fields", lineno=lineno) \
+            from None
+
+
+def iter_bedgraph(stream: io.TextIOBase) -> Iterator[BedGraphInterval]:
+    """Parse intervals, skipping track and comment lines."""
+    for lineno, line in enumerate(stream, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("#", "track", "browser")):
+            continue
+        yield parse_interval(line, lineno=lineno)
+
+
+def read_bedgraph(path: str | os.PathLike[str]) -> list[BedGraphInterval]:
+    """Read every interval of a BEDGRAPH file into memory."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(iter_bedgraph(fh))
+
+
+def write_bedgraph(path: str | os.PathLike[str],
+                   intervals: Iterable[BedGraphInterval]) -> int:
+    """Write intervals to *path*; return the count written."""
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for iv in intervals:
+            fh.write(format_interval(iv))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def compress_runs(chrom: str, values: Iterable[float], start: int = 0,
+                  ) -> Iterator[BedGraphInterval]:
+    """Run-length-encode a dense per-position value array into intervals.
+
+    Zero-valued runs are emitted too; callers that want sparse output can
+    filter them.
+    """
+    run_start = start
+    run_value: float | None = None
+    pos = start
+    for value in values:
+        if run_value is None:
+            run_value = value
+        elif value != run_value:
+            yield BedGraphInterval(chrom, run_start, pos, run_value)
+            run_start = pos
+            run_value = value
+        pos += 1
+    if run_value is not None and pos > run_start:
+        yield BedGraphInterval(chrom, run_start, pos, run_value)

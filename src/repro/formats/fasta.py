@@ -1,0 +1,211 @@
+"""FASTA format: records, reader/writer, and a ``.fai``-style index.
+
+A FASTA record is a ``>``-prefixed description line followed by wrapped
+sequence lines.  The index (:class:`FastaIndex`) mirrors the samtools
+``faidx`` layout — (name, length, offset, line bases, line width) — and
+supports random subsequence extraction, which the read simulator and
+aligner use heavily.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..errors import FormatError
+
+#: Default sequence-line wrap width.
+DEFAULT_WIDTH = 70
+
+
+@dataclass(slots=True)
+class FastaRecord:
+    """One FASTA entry: *name* (first word), *description* (full line
+    after ``>``), and the concatenated *sequence*."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.description:
+            self.description = self.name
+
+
+def format_record(record: FastaRecord, width: int = DEFAULT_WIDTH) -> str:
+    """Render one record, wrapped to *width* columns, trailing newline."""
+    if width <= 0:
+        raise ValueError("wrap width must be positive")
+    lines = [f">{record.description}"]
+    seq = record.sequence
+    lines.extend(seq[i:i + width] for i in range(0, len(seq), width))
+    if not seq:
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def iter_fasta(stream: io.TextIOBase) -> Iterator[FastaRecord]:
+    """Parse records from an open text stream."""
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+    for lineno, line in enumerate(stream, 1):
+        line = line.rstrip("\n")
+        if line.startswith(">"):
+            if name is not None:
+                yield FastaRecord(name, "".join(chunks), description)
+            description = line[1:]
+            name = description.split()[0] if description.split() else ""
+            if not name:
+                raise FormatError("empty FASTA record name", lineno=lineno)
+            chunks = []
+        elif line.startswith(";"):
+            continue  # legacy comment lines
+        else:
+            if name is None and line:
+                raise FormatError("sequence data before first '>' header",
+                                  lineno=lineno)
+            chunks.append(line.strip())
+    if name is not None:
+        yield FastaRecord(name, "".join(chunks), description)
+
+
+def read_fasta(path: str | os.PathLike[str]) -> list[FastaRecord]:
+    """Read every record of a FASTA file into memory."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(iter_fasta(fh))
+
+
+def write_fasta(path: str | os.PathLike[str],
+                records: Iterable[FastaRecord],
+                width: int = DEFAULT_WIDTH) -> int:
+    """Write records to *path*; return the count written."""
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for record in records:
+            fh.write(format_record(record, width))
+            n += 1
+    return n
+
+
+@dataclass(slots=True)
+class FaiEntry:
+    """One line of a ``.fai`` index."""
+
+    name: str
+    length: int
+    offset: int       # byte offset of the first sequence byte
+    line_bases: int   # bases per full sequence line
+    line_width: int   # bytes per full sequence line (incl. newline)
+
+
+class FastaIndex:
+    """samtools-faidx-compatible index enabling random subsequence reads.
+
+    Only uniformly-wrapped FASTA files can be indexed (the same
+    restriction samtools imposes).
+    """
+
+    def __init__(self, entries: list[FaiEntry]) -> None:
+        self.entries = entries
+        self._by_name = {e.name: e for e in entries}
+
+    @classmethod
+    def build(cls, path: str | os.PathLike[str]) -> "FastaIndex":
+        """Scan a FASTA file and build its index."""
+        entries: list[FaiEntry] = []
+        with open(path, "rb") as fh:
+            name = None
+            length = 0
+            offset = 0
+            line_bases = 0
+            line_width = 0
+            pos = 0
+            uniform = True
+            last_len = None
+            for raw in fh:
+                line = raw.rstrip(b"\n")
+                if raw.startswith(b">"):
+                    if name is not None:
+                        entries.append(FaiEntry(name, length, offset,
+                                                line_bases, line_width))
+                    desc = line[1:].decode("ascii")
+                    name = desc.split()[0] if desc.split() else ""
+                    if not name:
+                        raise FormatError("empty FASTA record name",
+                                          source=os.fspath(path))
+                    length = 0
+                    offset = pos + len(raw)
+                    line_bases = 0
+                    line_width = 0
+                    uniform = True
+                    last_len = None
+                elif name is not None and line:
+                    if last_len is not None and last_len != line_bases:
+                        uniform = False
+                    if not uniform:
+                        raise FormatError(
+                            f"cannot index FASTA with ragged line lengths "
+                            f"in record {name!r}", source=os.fspath(path))
+                    if line_bases == 0:
+                        line_bases = len(line)
+                        line_width = len(raw)
+                    last_len = len(line)
+                    length += len(line)
+                pos += len(raw)
+            if name is not None:
+                entries.append(FaiEntry(name, length, offset,
+                                        line_bases, line_width))
+        return cls(entries)
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Write the index in .fai tab-separated layout."""
+        with open(path, "w", encoding="ascii") as fh:
+            for e in self.entries:
+                fh.write(f"{e.name}\t{e.length}\t{e.offset}"
+                         f"\t{e.line_bases}\t{e.line_width}\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "FastaIndex":
+        """Parse an on-disk .fai file."""
+        entries = []
+        with open(path, "r", encoding="ascii") as fh:
+            for lineno, line in enumerate(fh, 1):
+                cols = line.rstrip("\n").split("\t")
+                if len(cols) != 5:
+                    raise FormatError("malformed .fai line", lineno=lineno,
+                                      source=os.fspath(path))
+                entries.append(FaiEntry(cols[0], int(cols[1]), int(cols[2]),
+                                        int(cols[3]), int(cols[4])))
+        return cls(entries)
+
+    def length(self, name: str) -> int:
+        """Sequence length of record *name*."""
+        return self._entry(name).length
+
+    def _entry(self, name: str) -> FaiEntry:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise FormatError(f"no FASTA record named {name!r}") from None
+
+    def fetch(self, fasta_path: str | os.PathLike[str], name: str,
+              start: int, end: int) -> str:
+        """Extract bases ``[start, end)`` (0-based) of record *name*."""
+        e = self._entry(name)
+        if not 0 <= start <= end <= e.length:
+            raise FormatError(
+                f"range [{start}, {end}) outside record {name!r} "
+                f"of length {e.length}")
+        if start == end:
+            return ""
+        first = e.offset + (start // e.line_bases) * e.line_width \
+            + start % e.line_bases
+        last = e.offset + ((end - 1) // e.line_bases) * e.line_width \
+            + (end - 1) % e.line_bases
+        with open(fasta_path, "rb") as fh:
+            fh.seek(first)
+            raw = fh.read(last - first + 1)
+        return raw.replace(b"\n", b"").decode("ascii")

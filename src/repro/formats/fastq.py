@@ -1,0 +1,72 @@
+"""FASTQ format: four-line records bundling sequence and Phred quality."""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from ..errors import FormatError
+
+
+@dataclass(slots=True)
+class FastqRecord:
+    """One FASTQ entry: *name*, *sequence*, Phred+33 *quality* string."""
+
+    name: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.quality):
+            raise FormatError(
+                f"FASTQ record {self.name!r}: sequence length "
+                f"{len(self.sequence)} != quality length {len(self.quality)}")
+
+
+def format_record(record: FastqRecord) -> str:
+    """Render one record as its canonical four lines."""
+    return (f"@{record.name}\n{record.sequence}\n"
+            f"+\n{record.quality}\n")
+
+
+def iter_fastq(stream: io.TextIOBase) -> Iterator[FastqRecord]:
+    """Parse records from an open text stream (strict four-line layout)."""
+    lineno = 0
+    while True:
+        head = stream.readline()
+        if not head:
+            return
+        lineno += 1
+        head = head.rstrip("\n")
+        if not head:
+            continue
+        if not head.startswith("@"):
+            raise FormatError(f"expected '@' record header, got {head!r}",
+                              lineno=lineno)
+        seq = stream.readline().rstrip("\n")
+        plus = stream.readline().rstrip("\n")
+        qual = stream.readline().rstrip("\n")
+        lineno += 3
+        if not plus.startswith("+"):
+            raise FormatError(f"expected '+' separator, got {plus!r}",
+                              lineno=lineno - 1)
+        yield FastqRecord(head[1:], seq, qual)
+
+
+def read_fastq(path: str | os.PathLike[str]) -> list[FastqRecord]:
+    """Read every record of a FASTQ file into memory."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(iter_fastq(fh))
+
+
+def write_fastq(path: str | os.PathLike[str],
+                records: Iterable[FastqRecord]) -> int:
+    """Write records to *path*; return the count written."""
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for record in records:
+            fh.write(format_record(record))
+            n += 1
+    return n

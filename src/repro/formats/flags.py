@@ -1,0 +1,99 @@
+"""SAM FLAG bitfield (column 2 of an alignment line).
+
+The twelve flag bits defined by the SAM specification v1.4, plus helper
+predicates.  The integer values are part of the on-disk format for both SAM
+and BAM, so they are fixed constants here rather than auto-numbered.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Flag(enum.IntFlag):
+    """SAM alignment FLAG bits (SAM spec v1.4 §1.4)."""
+
+    PAIRED = 0x1            #: template has multiple segments in sequencing
+    PROPER_PAIR = 0x2       #: each segment properly aligned per the aligner
+    UNMAPPED = 0x4          #: segment unmapped
+    MATE_UNMAPPED = 0x8     #: next segment in the template unmapped
+    REVERSE = 0x10          #: SEQ is reverse complemented
+    MATE_REVERSE = 0x20     #: SEQ of the next segment reverse complemented
+    READ1 = 0x40            #: first segment in the template
+    READ2 = 0x80            #: last segment in the template
+    SECONDARY = 0x100       #: secondary alignment
+    QC_FAIL = 0x200         #: not passing filters (platform/vendor QC)
+    DUPLICATE = 0x400       #: PCR or optical duplicate
+    SUPPLEMENTARY = 0x800   #: supplementary alignment
+
+MAX_FLAG = 0xFFF
+
+
+def is_paired(flag: int) -> bool:
+    """Return True if the template has multiple segments."""
+    return bool(flag & Flag.PAIRED)
+
+
+def is_unmapped(flag: int) -> bool:
+    """Return True if this segment is unmapped."""
+    return bool(flag & Flag.UNMAPPED)
+
+
+def is_mapped(flag: int) -> bool:
+    """Return True if this segment is mapped."""
+    return not flag & Flag.UNMAPPED
+
+
+def is_reverse(flag: int) -> bool:
+    """Return True if SEQ is stored reverse-complemented."""
+    return bool(flag & Flag.REVERSE)
+
+
+def is_primary(flag: int) -> bool:
+    """Return True for a primary alignment line (neither secondary nor
+    supplementary)."""
+    return not flag & (Flag.SECONDARY | Flag.SUPPLEMENTARY)
+
+
+def is_read1(flag: int) -> bool:
+    """Return True if this is the first segment of its template."""
+    return bool(flag & Flag.READ1)
+
+
+def is_read2(flag: int) -> bool:
+    """Return True if this is the last segment of its template."""
+    return bool(flag & Flag.READ2)
+
+
+def mate_number(flag: int) -> int:
+    """Return 1 or 2 for paired reads, 0 for unpaired.
+
+    A read with both or neither of READ1/READ2 set (a linear fragment of a
+    multi-segment template) is reported as 0, matching the convention used
+    by FASTQ splitters.
+    """
+    r1 = bool(flag & Flag.READ1)
+    r2 = bool(flag & Flag.READ2)
+    if r1 and not r2:
+        return 1
+    if r2 and not r1:
+        return 2
+    return 0
+
+
+def validate_flag(flag: int) -> int:
+    """Validate that *flag* fits the 12 defined bits; return it unchanged.
+
+    Raises
+    ------
+    ValueError
+        If the value is negative or uses undefined bits.
+    """
+    if not 0 <= flag <= MAX_FLAG:
+        raise ValueError(f"FLAG value {flag} outside [0, {MAX_FLAG}]")
+    return flag
+
+
+def describe(flag: int) -> list[str]:
+    """Return the list of flag-bit names set in *flag* (for diagnostics)."""
+    return [f.name for f in Flag if flag & f and f.name is not None]

@@ -1,0 +1,135 @@
+"""GFF3 (Generic/Gene Finding Feature) format.
+
+Listed among the sequence formats in the paper's background section
+(§II-B).  A GFF3 line has nine tab-separated columns::
+
+    seqid source type start end score strand phase attributes
+
+with 1-based inclusive coordinates and ``key=value;...`` attributes.
+This module implements a faithful reader/writer for the column layout
+and common attribute escaping; the converter exposes GFF as a target
+via :class:`repro.core.targets.GffTarget`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import urllib.parse
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from ..errors import FormatError
+
+#: Characters that must be percent-escaped inside attribute values.
+_ESCAPE = ";=&,\t\n\r%"
+
+
+def escape_attribute(value: str) -> str:
+    """Percent-escape the GFF3 reserved characters in a value."""
+    return urllib.parse.quote(value, safe="".join(
+        chr(c) for c in range(32, 127) if chr(c) not in _ESCAPE))
+
+
+def unescape_attribute(value: str) -> str:
+    """Inverse of :func:`escape_attribute`."""
+    return urllib.parse.unquote(value)
+
+
+@dataclass(slots=True)
+class GffFeature:
+    """One GFF3 feature (coordinates stored 0-based half-open)."""
+
+    seqid: str
+    source: str
+    type: str
+    start: int              # 0-based inclusive
+    end: int                # 0-based exclusive
+    score: float | None = None
+    strand: str = "."
+    phase: int | None = None
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise FormatError(
+                f"invalid GFF interval {self.seqid}:{self.start}-"
+                f"{self.end}")
+        if self.strand not in (".", "+", "-", "?"):
+            raise FormatError(f"invalid GFF strand {self.strand!r}")
+        if self.phase is not None and self.phase not in (0, 1, 2):
+            raise FormatError(f"invalid GFF phase {self.phase!r}")
+
+
+def format_feature(feature: GffFeature) -> str:
+    """Render one feature as a GFF3 line (no newline)."""
+    score = "." if feature.score is None else (
+        str(int(feature.score)) if float(feature.score).is_integer()
+        else repr(feature.score))
+    phase = "." if feature.phase is None else str(feature.phase)
+    attrs = ";".join(
+        f"{escape_attribute(k)}={escape_attribute(v)}"
+        for k, v in feature.attributes.items()) or "."
+    return "\t".join([
+        feature.seqid, feature.source or ".", feature.type,
+        str(feature.start + 1), str(feature.end), score,
+        feature.strand, phase, attrs])
+
+
+def parse_feature(line: str, *, lineno: int | None = None) -> GffFeature:
+    """Parse one GFF3 feature line."""
+    cols = line.rstrip("\n").split("\t")
+    if len(cols) != 9:
+        raise FormatError(
+            f"GFF line has {len(cols)} columns, expected 9",
+            lineno=lineno)
+    try:
+        start = int(cols[3]) - 1
+        end = int(cols[4])
+    except ValueError:
+        raise FormatError("non-integer GFF coordinates",
+                          lineno=lineno) from None
+    score = None if cols[5] == "." else float(cols[5])
+    phase = None if cols[7] == "." else int(cols[7])
+    attributes: dict[str, str] = {}
+    if cols[8] != ".":
+        for item in cols[8].split(";"):
+            if not item:
+                continue
+            if "=" not in item:
+                raise FormatError(
+                    f"GFF attribute {item!r} is not key=value",
+                    lineno=lineno)
+            key, value = item.split("=", 1)
+            attributes[unescape_attribute(key)] = \
+                unescape_attribute(value)
+    return GffFeature(cols[0], cols[1], cols[2], start, end, score,
+                      cols[6], phase, attributes)
+
+
+def iter_gff(stream: io.TextIOBase) -> Iterator[GffFeature]:
+    """Parse features, skipping directives (##...) and comments."""
+    for lineno, line in enumerate(stream, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_feature(line, lineno=lineno)
+
+
+def read_gff(path: str | os.PathLike[str]) -> list[GffFeature]:
+    """Read every feature of a GFF3 file into memory."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return list(iter_gff(fh))
+
+
+def write_gff(path: str | os.PathLike[str],
+              features: Iterable[GffFeature]) -> int:
+    """Write features with the gff-version directive; return count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("##gff-version 3\n")
+        for feature in features:
+            fh.write(format_feature(feature))
+            fh.write("\n")
+            n += 1
+    return n

@@ -1,0 +1,117 @@
+"""JSON serialization of alignment records (JSON-Lines output target).
+
+Each alignment becomes one JSON object per line — the streaming-friendly
+convention — with SAM field names as keys and 1-based text-style
+coordinates, so downstream JSON consumers see the same values a SAM line
+would carry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable, Iterator
+
+from ..errors import FormatError
+from .cigar import format_cigar, parse_cigar
+from .record import UNMAPPED_POS, AlignmentRecord
+from .tags import Tag
+
+
+def record_to_dict(record: AlignmentRecord) -> dict[str, object]:
+    """Map a record onto a plain dict with SAM column names."""
+    out: dict[str, object] = {
+        "qname": record.qname,
+        "flag": record.flag,
+        "rname": record.rname,
+        "pos": record.pos + 1 if record.pos != UNMAPPED_POS else 0,
+        "mapq": record.mapq,
+        "cigar": format_cigar(record.cigar),
+        "rnext": record.rnext,
+        "pnext": record.pnext + 1 if record.pnext != UNMAPPED_POS else 0,
+        "tlen": record.tlen,
+        "seq": record.seq,
+        "qual": record.qual,
+    }
+    if record.tags:
+        tags: dict[str, object] = {}
+        for tag in record.tags:
+            if tag.type == "H":
+                assert isinstance(tag.value, (bytes, bytearray))
+                tags[tag.name] = {"type": "H",
+                                  "value": tag.value.hex().upper()}
+            elif tag.type == "B":
+                sub, values = tag.value  # type: ignore[misc]
+                tags[tag.name] = {"type": "B", "subtype": sub,
+                                  "value": list(values)}
+            else:
+                tags[tag.name] = {"type": tag.type, "value": tag.value}
+        out["tags"] = tags
+    return out
+
+
+def dict_to_record(data: dict[str, object]) -> AlignmentRecord:
+    """Inverse of :func:`record_to_dict`."""
+    try:
+        pos = int(data["pos"])  # type: ignore[arg-type]
+        pnext = int(data["pnext"])  # type: ignore[arg-type]
+        tags: list[Tag] = []
+        for name, spec in (data.get("tags") or {}).items():  # type: ignore[union-attr]
+            ttype = spec["type"]
+            value = spec["value"]
+            if ttype == "H":
+                value = bytes.fromhex(value)
+            elif ttype == "B":
+                value = (spec["subtype"], tuple(value))
+            tags.append(Tag(name, ttype, value))
+        return AlignmentRecord(
+            qname=str(data["qname"]),
+            flag=int(data["flag"]),  # type: ignore[arg-type]
+            rname=str(data["rname"]),
+            pos=pos - 1 if pos > 0 else UNMAPPED_POS,
+            mapq=int(data["mapq"]),  # type: ignore[arg-type]
+            cigar=parse_cigar(str(data["cigar"])),
+            rnext=str(data["rnext"]),
+            pnext=pnext - 1 if pnext > 0 else UNMAPPED_POS,
+            tlen=int(data["tlen"]),  # type: ignore[arg-type]
+            seq=str(data["seq"]),
+            qual=str(data["qual"]),
+            tags=tags,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"malformed alignment JSON object: {exc}") from None
+
+
+def format_record(record: AlignmentRecord) -> str:
+    """One compact JSON object (no trailing newline)."""
+    return json.dumps(record_to_dict(record), separators=(",", ":"))
+
+
+def iter_json(stream) -> Iterator[AlignmentRecord]:
+    """Parse a JSON-Lines stream of alignment objects."""
+    for lineno, line in enumerate(stream, 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"invalid JSON: {exc}", lineno=lineno) from None
+        yield dict_to_record(obj)
+
+
+def read_json(path: str | os.PathLike[str]) -> list[AlignmentRecord]:
+    """Read a JSON-Lines alignment file into memory."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return list(iter_json(fh))
+
+
+def write_json(path: str | os.PathLike[str],
+               records: Iterable[AlignmentRecord]) -> int:
+    """Write records as JSON-Lines; return the count written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(format_record(record))
+            fh.write("\n")
+            n += 1
+    return n

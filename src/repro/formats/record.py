@@ -1,0 +1,164 @@
+"""The canonical in-memory alignment record.
+
+This is the "alignment object" of the paper's runtime/user-program split:
+every reader (SAM, BAM, BAMX) parses into :class:`AlignmentRecord`, and
+every target-format plugin consumes it.  Field names follow the SAM
+mandatory columns; coordinates are stored 0-based internally (``pos``)
+and converted to/from 1-based at the text boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SamFormatError
+from . import cigar as _cigar
+from . import flags as _flags
+from . import seq as _seq
+from .tags import Tag
+
+#: Sentinel for "no reference" / "no position" in 0-based coordinates.
+UNMAPPED_POS = -1
+
+
+@dataclass(slots=True)
+class AlignmentRecord:
+    """One sequence alignment.
+
+    Attributes
+    ----------
+    qname:
+        Query (read) name; ``*`` means unavailable.
+    flag:
+        SAM FLAG bitfield (see :mod:`repro.formats.flags`).
+    rname:
+        Reference sequence name, or ``*`` if unmapped.
+    pos:
+        0-based leftmost mapping position; ``-1`` if unavailable
+        (serialized as SAM POS ``0``).
+    mapq:
+        Mapping quality, 255 meaning unavailable.
+    cigar:
+        ``[(length, op), ...]``; empty list means SAM ``*``.
+    rnext, pnext:
+        Mate reference name (``*``/``=`` conventions preserved) and
+        0-based mate position.
+    tlen:
+        Observed template length (signed).
+    seq:
+        Segment sequence, or ``*``.
+    qual:
+        Phred+33 quality string, or ``*``.
+    tags:
+        Optional fields in order of appearance.
+    """
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int
+    mapq: int
+    cigar: list[tuple[int, str]]
+    rnext: str
+    pnext: int
+    tlen: int
+    seq: str
+    qual: str
+    tags: list[Tag] = field(default_factory=list)
+
+    # -- derived properties ----------------------------------------------
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when the UNMAPPED flag bit is clear."""
+        return _flags.is_mapped(self.flag)
+
+    @property
+    def is_reverse(self) -> bool:
+        """True when SEQ is stored reverse-complemented."""
+        return _flags.is_reverse(self.flag)
+
+    @property
+    def is_paired(self) -> bool:
+        """True when the template has multiple segments."""
+        return _flags.is_paired(self.flag)
+
+    @property
+    def mate_number(self) -> int:
+        """1, 2, or 0 (see :func:`repro.formats.flags.mate_number`)."""
+        return _flags.mate_number(self.flag)
+
+    @property
+    def query_length(self) -> int:
+        """Length of SEQ, derived from CIGAR when SEQ is ``*``."""
+        if self.seq != "*":
+            return len(self.seq)
+        return _cigar.query_length(self.cigar)
+
+    @property
+    def reference_span(self) -> int:
+        """Number of reference positions covered (0 if no CIGAR)."""
+        return _cigar.reference_span(self.cigar)
+
+    @property
+    def end(self) -> int:
+        """0-based exclusive end position on the reference.
+
+        For a record without a CIGAR the span is taken as 1 so that the
+        record still occupies its anchor position (the samtools
+        convention for indexing placed-but-unaligned records).
+        """
+        if self.pos == UNMAPPED_POS:
+            return UNMAPPED_POS
+        span = self.reference_span
+        return self.pos + (span if span > 0 else 1)
+
+    def original_sequence(self) -> str:
+        """SEQ in original (instrument) orientation."""
+        if self.seq == "*" or not self.is_reverse:
+            return self.seq
+        return _seq.reverse_complement(self.seq)
+
+    def original_qualities(self) -> str:
+        """QUAL in original (instrument) orientation."""
+        if self.qual == "*" or not self.is_reverse:
+            return self.qual
+        return self.qual[::-1]
+
+    def get_tag(self, name: str) -> Tag | None:
+        """Return the first tag called *name*, or None."""
+        for tag in self.tags:
+            if tag.name == name:
+                return tag
+        return None
+
+    def validate(self) -> None:
+        """Check internal consistency; raise SamFormatError on violation."""
+        try:
+            _flags.validate_flag(self.flag)
+        except ValueError as exc:
+            raise SamFormatError(str(exc)) from None
+        if not self.qname or "\t" in self.qname or " " in self.qname:
+            raise SamFormatError(f"invalid QNAME {self.qname!r}")
+        if len(self.qname) > 254:
+            raise SamFormatError("QNAME longer than 254 characters")
+        if not 0 <= self.mapq <= 255:
+            raise SamFormatError(f"MAPQ {self.mapq} outside [0, 255]")
+        if self.pos < UNMAPPED_POS:
+            raise SamFormatError(f"invalid position {self.pos}")
+        if self.pnext < UNMAPPED_POS:
+            raise SamFormatError(f"invalid mate position {self.pnext}")
+        try:
+            _seq.validate_seq(self.seq)
+        except SamFormatError:
+            raise
+        except Exception as exc:
+            raise SamFormatError(str(exc)) from None
+        if self.cigar:
+            _cigar.validate_cigar(
+                self.cigar,
+                len(self.seq) if self.seq != "*" else None)
+        if self.seq != "*" and self.qual != "*" \
+                and len(self.qual) != len(self.seq):
+            raise SamFormatError(
+                f"QUAL length {len(self.qual)} != SEQ length {len(self.seq)}")

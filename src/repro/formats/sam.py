@@ -1,0 +1,209 @@
+"""SAM text format: parse and emit alignment lines and whole files.
+
+The parser maps each tab-delimited alignment line onto the canonical
+:class:`~repro.formats.record.AlignmentRecord`; the writer is its exact
+inverse, so ``format_alignment(parse_alignment(line)) == line`` for any
+spec-conforming line (this round-trip is property-tested).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+
+from ..errors import SamFormatError
+from .cigar import format_cigar, parse_cigar
+from .header import SamHeader
+from .record import UNMAPPED_POS, AlignmentRecord
+from .tags import format_tags, parse_tags
+
+#: Number of mandatory columns in a SAM alignment line.
+MANDATORY_COLUMNS = 11
+
+
+def parse_alignment(line: str, *, lineno: int | None = None,
+                    validate: bool = False) -> AlignmentRecord:
+    """Parse one SAM alignment line (no trailing newline required).
+
+    Parameters
+    ----------
+    line:
+        The raw text line.
+    lineno:
+        Optional line number for error messages.
+    validate:
+        When True, run full structural validation on the parsed record
+        (slower; parsing alone only checks field syntax).
+    """
+    cols = line.rstrip("\n").split("\t")
+    if len(cols) < MANDATORY_COLUMNS:
+        raise SamFormatError(
+            f"alignment line has {len(cols)} columns, "
+            f"expected >= {MANDATORY_COLUMNS}", lineno=lineno)
+    try:
+        flag = int(cols[1])
+        pos1 = int(cols[3])
+        mapq = int(cols[4])
+        pnext1 = int(cols[7])
+        tlen = int(cols[8])
+    except ValueError as exc:
+        raise SamFormatError(f"non-integer numeric column: {exc}",
+                             lineno=lineno) from None
+    record = AlignmentRecord(
+        qname=cols[0],
+        flag=flag,
+        rname=cols[2],
+        pos=pos1 - 1 if pos1 > 0 else UNMAPPED_POS,
+        mapq=mapq,
+        cigar=parse_cigar(cols[5]),
+        rnext=cols[6],
+        pnext=pnext1 - 1 if pnext1 > 0 else UNMAPPED_POS,
+        tlen=tlen,
+        seq=cols[9],
+        qual=cols[10],
+        tags=parse_tags(cols[MANDATORY_COLUMNS:]),
+    )
+    if validate:
+        record.validate()
+    return record
+
+
+def format_alignment(record: AlignmentRecord) -> str:
+    """Render a record as a SAM alignment line (no trailing newline)."""
+    cols = [
+        record.qname,
+        str(record.flag),
+        record.rname,
+        str(record.pos + 1 if record.pos != UNMAPPED_POS else 0),
+        str(record.mapq),
+        format_cigar(record.cigar),
+        record.rnext,
+        str(record.pnext + 1 if record.pnext != UNMAPPED_POS else 0),
+        str(record.tlen),
+        record.seq,
+        record.qual,
+    ]
+    tag_text = format_tags(record.tags)
+    if tag_text:
+        cols.append(tag_text)
+    return "\t".join(cols)
+
+
+class SamReader:
+    """Streaming reader over a SAM file or text stream.
+
+    Iterating yields :class:`AlignmentRecord`; the header (if present) is
+    parsed eagerly on construction and exposed as :attr:`header`.
+
+    Can be used as a context manager when constructed from a path.
+    """
+
+    def __init__(self, source: str | os.PathLike[str] | io.TextIOBase,
+                 *, validate: bool = False) -> None:
+        if isinstance(source, (str, os.PathLike)):
+            self._stream: io.TextIOBase = open(source, "r",  # noqa: SIM115
+                                               encoding="ascii", newline="")
+            self._owns_stream = True
+            self.source_name = os.fspath(source)
+        else:
+            self._stream = source
+            self._owns_stream = False
+            self.source_name = getattr(source, "name", "<stream>")
+        self._validate = validate
+        self._lineno = 0
+        self._pending: str | None = None
+        header_lines = []
+        for line in self._stream:
+            self._lineno += 1
+            if line.startswith("@"):
+                header_lines.append(line)
+            else:
+                self._pending = line
+                break
+        self.header = SamHeader.from_text("".join(header_lines))
+
+    def __enter__(self) -> "SamReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying stream if this reader opened it."""
+        if self._owns_stream:
+            self._stream.close()
+
+    def __iter__(self) -> Iterator[AlignmentRecord]:
+        if self._pending is not None:
+            line, self._pending = self._pending, None
+            if line.strip():
+                yield parse_alignment(line, lineno=self._lineno,
+                                      validate=self._validate)
+        for line in self._stream:
+            self._lineno += 1
+            if not line.strip():
+                continue
+            yield parse_alignment(line, lineno=self._lineno,
+                                  validate=self._validate)
+
+
+class SamWriter:
+    """Streaming writer producing a SAM file (header first, then records).
+
+    Can be used as a context manager when constructed from a path.
+    """
+
+    def __init__(self, target: str | os.PathLike[str] | io.TextIOBase,
+                 header: SamHeader | None = None) -> None:
+        if isinstance(target, (str, os.PathLike)):
+            self._stream: io.TextIOBase = open(target, "w",  # noqa: SIM115
+                                               encoding="ascii", newline="")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        if header is not None:
+            self._stream.write(header.to_text())
+        self.records_written = 0
+
+    def __enter__(self) -> "SamWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def write(self, record: AlignmentRecord) -> None:
+        """Append one alignment line."""
+        self._stream.write(format_alignment(record))
+        self._stream.write("\n")
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[AlignmentRecord]) -> int:
+        """Append every record; return the count written by this call."""
+        n = 0
+        for record in records:
+            self.write(record)
+            n += 1
+        return n
+
+    def close(self) -> None:
+        """Flush and close the underlying stream if owned."""
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+def read_sam(path: str | os.PathLike[str], *, validate: bool = False,
+             ) -> tuple[SamHeader, list[AlignmentRecord]]:
+    """Read an entire SAM file into memory: ``(header, records)``."""
+    with SamReader(path, validate=validate) as reader:
+        return reader.header, list(reader)
+
+
+def write_sam(path: str | os.PathLike[str], header: SamHeader | None,
+              records: Iterable[AlignmentRecord]) -> int:
+    """Write *records* (with optional header) to *path*; return count."""
+    with SamWriter(path, header) as writer:
+        return writer.write_all(records)

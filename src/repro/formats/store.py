@@ -1,0 +1,39 @@
+"""Record-store opener: BAMX and BAMZ behind one interface.
+
+Both readers expose ``len``, ``[i]``, ``read_range``, iteration,
+``.header`` and ``.layout``; converters call :func:`open_record_store`
+and never care which physical format backs the store.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from ..errors import BamxFormatError
+from . import bamx as _bamx
+from . import bamz as _bamz
+from .bamx import BamxReader
+from .bamz import BamzReader
+
+RecordStore = Union[BamxReader, BamzReader]
+
+
+def open_record_store(path: str | os.PathLike[str]) -> RecordStore:
+    """Open a BAMX or BAMZ file, dispatching on its magic bytes."""
+    with open(path, "rb") as fh:
+        head = fh.read(len(_bamx.MAGIC))
+    if head == _bamx.MAGIC:
+        return BamxReader(path)
+    # BAMZ files are BGZF streams; their magic is inside the first
+    # block, so sniff by extension/BGZF framing instead.
+    from .bgzf import is_bgzf
+    if is_bgzf(path):
+        return BamzReader(path)
+    raise BamxFormatError(
+        "not a BAMX or BAMZ file", source=os.fspath(path))
+
+
+def store_extension(compress: bool) -> str:
+    """Canonical extension for a record store."""
+    return ".bamz" if compress else ".bamx"

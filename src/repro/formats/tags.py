@@ -1,0 +1,242 @@
+"""SAM optional fields ("tags") and their BAM binary encoding.
+
+A SAM optional field is ``TAG:TYPE:VALUE`` where TAG is two characters and
+TYPE is one of:
+
+====  ==========================================================
+A     single printable character
+i     signed 32-bit integer (SAM accepts any int; BAM narrows it)
+f     single-precision float
+Z     printable string
+H     hex-encoded byte array
+B     numeric array: subtype in ``cCsSiIf`` then comma values
+====  ==========================================================
+
+BAM additionally stores integers in the narrowest of ``cCsSiI`` when
+writing, and readers widen everything back to Python ``int``; this module
+is careful to round-trip SAM->BAM->SAM losslessly at the *value* level
+(the integer width chosen on disk is an encoding detail).
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass
+
+from ..errors import SamFormatError
+
+_TAG_RE = re.compile(r"^[A-Za-z][A-Za-z0-9]$")
+_ARRAY_SUBTYPES = "cCsSiIf"
+_STRUCT_OF = {"c": "b", "C": "B", "s": "h", "S": "H", "i": "i", "I": "I",
+              "f": "f"}
+_INT_BOUNDS = {
+    "c": (-(1 << 7), (1 << 7) - 1),
+    "C": (0, (1 << 8) - 1),
+    "s": (-(1 << 15), (1 << 15) - 1),
+    "S": (0, (1 << 16) - 1),
+    "i": (-(1 << 31), (1 << 31) - 1),
+    "I": (0, (1 << 32) - 1),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Tag:
+    """One optional field: two-char *name*, one-char *type*, Python value.
+
+    Value types by tag type: ``A``->str(1), ``i``->int, ``f``->float,
+    ``Z``->str, ``H``->bytes, ``B``->(subtype, tuple-of-numbers).
+    """
+
+    name: str
+    type: str
+    value: object
+
+    def to_sam(self) -> str:
+        """Render as the SAM text column ``TAG:TYPE:VALUE``."""
+        t, v = self.type, self.value
+        if t == "A":
+            body = str(v)
+        elif t == "i":
+            body = str(int(v))  # type: ignore[call-overload]
+        elif t == "f":
+            body = repr(float(v))  # type: ignore[arg-type]
+        elif t == "Z":
+            body = str(v)
+        elif t == "H":
+            assert isinstance(v, (bytes, bytearray))
+            body = v.hex().upper()
+        elif t == "B":
+            sub, values = v  # type: ignore[misc]
+            parts = [sub]
+            for x in values:
+                parts.append(repr(float(x)) if sub == "f" else str(int(x)))
+            body = ",".join(parts)
+        else:  # pragma: no cover - constructor prevents this
+            raise SamFormatError(f"unknown tag type {t!r}")
+        return f"{self.name}:{t}:{body}"
+
+
+def parse_tag(field: str) -> Tag:
+    """Parse one ``TAG:TYPE:VALUE`` SAM column into a :class:`Tag`."""
+    parts = field.split(":", 2)
+    if len(parts) != 3:
+        raise SamFormatError(f"malformed optional field {field!r}")
+    name, t, body = parts
+    if not _TAG_RE.match(name):
+        raise SamFormatError(f"invalid tag name {name!r}")
+    if t == "A":
+        if len(body) != 1 or not body.isprintable():
+            raise SamFormatError(f"invalid A-type value {body!r}")
+        value: object = body
+    elif t == "i":
+        try:
+            value = int(body)
+        except ValueError:
+            raise SamFormatError(f"invalid integer tag value {body!r}") from None
+    elif t == "f":
+        try:
+            value = float(body)
+        except ValueError:
+            raise SamFormatError(f"invalid float tag value {body!r}") from None
+    elif t == "Z":
+        value = body
+    elif t == "H":
+        if len(body) % 2:
+            raise SamFormatError(f"odd-length hex tag value {body!r}")
+        try:
+            value = bytes.fromhex(body)
+        except ValueError:
+            raise SamFormatError(f"invalid hex tag value {body!r}") from None
+    elif t == "B":
+        items = body.split(",")
+        sub = items[0]
+        if sub not in _ARRAY_SUBTYPES:
+            raise SamFormatError(f"invalid B-array subtype {sub!r}")
+        try:
+            if sub == "f":
+                values = tuple(float(x) for x in items[1:])
+            else:
+                values = tuple(int(x) for x in items[1:])
+        except ValueError:
+            raise SamFormatError(f"invalid B-array body {body!r}") from None
+        if sub != "f":
+            lo, hi = _INT_BOUNDS[sub]
+            for x in values:
+                if not lo <= x <= hi:
+                    raise SamFormatError(
+                        f"B-array value {x} out of range for subtype {sub}")
+        value = (sub, values)
+    else:
+        raise SamFormatError(f"unknown tag type {t!r}")
+    return Tag(name, t, value)
+
+
+def _narrowest_int_type(v: int) -> str:
+    """Pick the narrowest BAM integer code that can hold *v*."""
+    for code in ("c", "C", "s", "S", "i", "I"):
+        lo, hi = _INT_BOUNDS[code]
+        if lo <= v <= hi:
+            return code
+    raise SamFormatError(f"integer tag value {v} does not fit in 32 bits")
+
+
+def encode_tag(tag: Tag) -> bytes:
+    """Encode one tag to its BAM binary representation."""
+    name = tag.name.encode("ascii")
+    t, v = tag.type, tag.value
+    if t == "A":
+        return name + b"A" + str(v).encode("ascii")
+    if t == "i":
+        code = _narrowest_int_type(int(v))  # type: ignore[call-overload]
+        return (name + code.encode("ascii")
+                + struct.pack("<" + _STRUCT_OF[code], v))
+    if t == "f":
+        return name + b"f" + struct.pack("<f", v)
+    if t == "Z":
+        return name + b"Z" + str(v).encode("ascii") + b"\x00"
+    if t == "H":
+        assert isinstance(v, (bytes, bytearray))
+        return name + b"H" + v.hex().upper().encode("ascii") + b"\x00"
+    if t == "B":
+        sub, values = v  # type: ignore[misc]
+        fmt = "<" + _STRUCT_OF[sub] * len(values)
+        return (name + b"B" + sub.encode("ascii")
+                + struct.pack("<i", len(values)) + struct.pack(fmt, *values))
+    raise SamFormatError(f"unknown tag type {t!r}")  # pragma: no cover
+
+
+def decode_tags(data: bytes) -> list[Tag]:
+    """Decode the trailing tag block of a BAM alignment record."""
+    try:
+        return _decode_tags(data)
+    except (struct.error, IndexError, ValueError) as exc:
+        if isinstance(exc, SamFormatError):
+            raise
+        raise SamFormatError(f"truncated or corrupt BAM tag block: "
+                             f"{exc}") from None
+
+
+#: Pre-compiled Struct per scalar tag code (hot path of _decode_tags).
+_TAG_STRUCTS = {code: struct.Struct("<" + fmt)
+                for code, fmt in _STRUCT_OF.items()}
+
+
+def _decode_tags(data: bytes) -> list[Tag]:
+    tags: list[Tag] = []
+    off = 0
+    n = len(data)
+    while off < n:
+        if off + 3 > n:
+            raise SamFormatError("truncated BAM tag block")
+        name = data[off:off + 2].decode("ascii")
+        code = chr(data[off + 2])
+        off += 3
+        if code == "A":
+            tags.append(Tag(name, "A", chr(data[off])))
+            off += 1
+        elif code in _INT_BOUNDS:
+            s = _TAG_STRUCTS[code]
+            (v,) = s.unpack_from(data, off)
+            tags.append(Tag(name, "i", v))
+            off += s.size
+        elif code == "f":
+            (v,) = _TAG_STRUCTS["f"].unpack_from(data, off)
+            tags.append(Tag(name, "f", v))
+            off += 4
+        elif code in ("Z", "H"):
+            end = data.index(b"\x00", off)
+            body = data[off:end].decode("ascii")
+            if code == "Z":
+                tags.append(Tag(name, "Z", body))
+            else:
+                tags.append(Tag(name, "H", bytes.fromhex(body)))
+            off = end + 1
+        elif code == "B":
+            sub = chr(data[off])
+            if sub not in _ARRAY_SUBTYPES:
+                raise SamFormatError(f"invalid B-array subtype {sub!r}")
+            (count,) = struct.unpack_from("<i", data, off + 1)
+            off += 5
+            fmt = "<" + _STRUCT_OF[sub] * count
+            values = struct.unpack_from(fmt, data, off)
+            off += struct.calcsize(fmt)
+            tags.append(Tag(name, "B", (sub, tuple(values))))
+        else:
+            raise SamFormatError(f"unknown BAM tag type code {code!r}")
+    return tags
+
+
+def encode_tags(tags: list[Tag]) -> bytes:
+    """Encode a tag list into one contiguous BAM tag block."""
+    return b"".join(encode_tag(t) for t in tags)
+
+
+def parse_tags(fields: list[str]) -> list[Tag]:
+    """Parse the optional columns of a SAM line (columns 12+)."""
+    return [parse_tag(f) for f in fields]
+
+
+def format_tags(tags: list[Tag]) -> str:
+    """Render tags back to tab-joined SAM text (empty string if none)."""
+    return "\t".join(t.to_sam() for t in tags)

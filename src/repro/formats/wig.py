@@ -1,0 +1,81 @@
+"""WIG (wiggle) format: fixedStep and variableStep numeric tracks.
+
+Included as the extension format mentioned in the paper's background
+section.  WIG is 1-based inclusive on disk; this module converts to and
+from the library's 0-based half-open convention.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from collections.abc import Iterable, Iterator
+
+from ..errors import FormatError
+from .bedgraph import BedGraphInterval
+
+
+def write_fixed_step(path: str | os.PathLike[str], chrom: str,
+                     values: Iterable[float], start: int = 0,
+                     step: int = 1, span: int = 1) -> int:
+    """Write a fixedStep track; *start* is 0-based. Returns value count."""
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"fixedStep chrom={chrom} start={start + 1} "
+                 f"step={step} span={span}\n")
+        for value in values:
+            v = int(value) if float(value).is_integer() else value
+            fh.write(f"{v}\n")
+            n += 1
+    return n
+
+
+def iter_wig(stream: io.TextIOBase) -> Iterator[BedGraphInterval]:
+    """Parse a WIG stream into scored intervals (both step styles)."""
+    mode = None
+    chrom = ""
+    pos = 0
+    step = 1
+    span = 1
+    for lineno, line in enumerate(stream, 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("#", "track", "browser")):
+            continue
+        if stripped.startswith(("fixedStep", "variableStep")):
+            fields = dict(part.split("=", 1)
+                          for part in stripped.split()[1:])
+            if "chrom" not in fields:
+                raise FormatError("WIG declaration missing chrom",
+                                  lineno=lineno)
+            chrom = fields["chrom"]
+            span = int(fields.get("span", "1"))
+            if stripped.startswith("fixedStep"):
+                mode = "fixed"
+                if "start" not in fields:
+                    raise FormatError("fixedStep missing start",
+                                      lineno=lineno)
+                pos = int(fields["start"]) - 1
+                step = int(fields.get("step", "1"))
+            else:
+                mode = "variable"
+            continue
+        if mode is None:
+            raise FormatError("WIG data before any step declaration",
+                              lineno=lineno)
+        if mode == "fixed":
+            value = float(stripped)
+            yield BedGraphInterval(chrom, pos, pos + span, value)
+            pos += step
+        else:
+            cols = stripped.split()
+            if len(cols) != 2:
+                raise FormatError("variableStep line needs 'pos value'",
+                                  lineno=lineno)
+            p = int(cols[0]) - 1
+            yield BedGraphInterval(chrom, p, p + span, float(cols[1]))
+
+
+def read_wig(path: str | os.PathLike[str]) -> list[BedGraphInterval]:
+    """Read a whole WIG file into scored intervals."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(iter_wig(fh))

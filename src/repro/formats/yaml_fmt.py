@@ -1,0 +1,206 @@
+"""Minimal YAML emitter/parser and the YAML alignment output target.
+
+The library depends only on numpy, so instead of pulling in PyYAML this
+module implements the small YAML subset the converter needs: block
+mappings and sequences of scalars (str/int/float/bool/null), with
+document separators (``---``) delimiting alignment records.  The subset
+round-trips everything :func:`repro.formats.json_fmt.record_to_dict`
+produces.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from collections.abc import Iterable, Iterator
+
+from ..errors import FormatError
+from .json_fmt import dict_to_record, record_to_dict
+from .record import AlignmentRecord
+
+_PLAIN_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.+\-=*/]*$")
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+def _emit_scalar(value: object) -> str:
+    """Render one scalar with quoting only where the subset demands it."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    text = str(value)
+    if (_PLAIN_RE.match(text) and not _INT_RE.match(text)
+            and not _FLOAT_RE.match(text)
+            and text not in ("true", "false", "null")):
+        return text
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _emit(value: object, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if isinstance(item, (dict, list)) and item:
+                lines.append(f"{pad}{key}:")
+                _emit(item, indent + 1, lines)
+            else:
+                if isinstance(item, (dict, list)):  # empty container
+                    rendered = "{}" if isinstance(item, dict) else "[]"
+                else:
+                    rendered = _emit_scalar(item)
+                lines.append(f"{pad}{key}: {rendered}")
+    elif isinstance(value, list):
+        for item in value:
+            if isinstance(item, (dict, list)) and item:
+                lines.append(f"{pad}-")
+                _emit(item, indent + 1, lines)
+            else:
+                lines.append(f"{pad}- {_emit_scalar(item)}")
+    else:
+        lines.append(f"{pad}{_emit_scalar(value)}")
+
+
+def dump(value: object) -> str:
+    """Serialize a dict/list/scalar tree to block YAML (no separator)."""
+    lines: list[str] = []
+    _emit(value, 0, lines)
+    return "\n".join(lines) + "\n"
+
+
+def _parse_scalar(text: str) -> object:
+    text = text.strip()
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        body = text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+    if text == "null":
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text == "{}":
+        return {}
+    if text == "[]":
+        return []
+    if _INT_RE.match(text):
+        return int(text)
+    if _FLOAT_RE.match(text):
+        return float(text)
+    return text
+
+
+def _parse_block(lines: list[str], start: int, indent: int,
+                 ) -> tuple[object, int]:
+    """Parse the block starting at *start* whose items sit at *indent*."""
+    i = start
+    # Decide container type from the first item.
+    first = lines[i][indent:]
+    is_list = first.startswith("- ") or first == "-"
+    result: object = [] if is_list else {}
+    while i < len(lines):
+        raw = lines[i]
+        this_indent = len(raw) - len(raw.lstrip(" "))
+        if this_indent < indent:
+            break
+        if this_indent > indent:
+            raise FormatError(f"unexpected indentation at line {i + 1}")
+        body = raw[indent:]
+        if is_list:
+            if not (body.startswith("- ") or body == "-"):
+                break
+            if body == "-":
+                child, i = _parse_block(lines, i + 1, indent + 2)
+                result.append(child)  # type: ignore[union-attr]
+            else:
+                result.append(_parse_scalar(body[2:]))  # type: ignore[union-attr]
+                i += 1
+        else:
+            if ":" not in body:
+                raise FormatError(f"expected 'key: value' at line {i + 1}")
+            key, _, rest = body.partition(":")
+            key = key.strip()
+            rest = rest.strip()
+            if rest:
+                result[key] = _parse_scalar(rest)  # type: ignore[index]
+                i += 1
+            else:
+                if (i + 1 < len(lines)
+                        and len(lines[i + 1]) - len(lines[i + 1].lstrip(" "))
+                        > indent):
+                    child_indent = (len(lines[i + 1])
+                                    - len(lines[i + 1].lstrip(" ")))
+                    child, i = _parse_block(lines, i + 1, child_indent)
+                    result[key] = child  # type: ignore[index]
+                else:
+                    result[key] = None  # type: ignore[index]
+                    i += 1
+    return result, i
+
+
+_MAPPING_LINE_RE = re.compile(r'^[^"\s-][^:]*:(\s|$)')
+
+
+def load(text: str) -> object:
+    """Parse one YAML document in the supported subset."""
+    lines = [l for l in text.splitlines() if l.strip()
+             and not l.lstrip().startswith("#")]
+    if not lines:
+        return None
+    if len(lines) == 1:
+        only = lines[0].strip()
+        # A single line that is neither a list item nor a plain-key
+        # mapping entry is a bare scalar document.
+        if not only.startswith("- ") and only != "-" \
+                and not _MAPPING_LINE_RE.match(only):
+            return _parse_scalar(only)
+    value, consumed = _parse_block(lines, 0, 0)
+    if consumed != len(lines):
+        raise FormatError(f"trailing YAML content at line {consumed + 1}")
+    return value
+
+
+def load_all(text: str) -> Iterator[object]:
+    """Parse a multi-document stream separated by ``---`` lines."""
+    doc: list[str] = []
+    for line in text.splitlines():
+        if line.strip() == "---":
+            if doc:
+                yield load("\n".join(doc))
+                doc = []
+        else:
+            doc.append(line)
+    if any(l.strip() for l in doc):
+        yield load("\n".join(doc))
+
+
+def format_record(record: AlignmentRecord) -> str:
+    """Render one alignment as a YAML document with leading separator."""
+    return "---\n" + dump(record_to_dict(record))
+
+
+def read_yaml(path: str | os.PathLike[str]) -> list[AlignmentRecord]:
+    """Read a multi-document YAML alignment file into memory."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    records = []
+    for doc in load_all(text):
+        if not isinstance(doc, dict):
+            raise FormatError("YAML alignment document is not a mapping")
+        records.append(dict_to_record(doc))
+    return records
+
+
+def write_yaml(path: str | os.PathLike[str],
+               records: Iterable[AlignmentRecord]) -> int:
+    """Write records as a multi-document YAML file; return the count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(format_record(record))
+            n += 1
+    return n

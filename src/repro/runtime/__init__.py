@@ -1,0 +1,23 @@
+"""Parallel runtime substrate: communicators, SPMD launch, partitioning,
+buffered metered I/O, and the simulated-cluster performance model."""
+
+from .buffers import BufferedBinaryWriter, BufferedTextWriter, \
+    RangeLineReader
+from .comm import Communicator, SerialComm, ThreadComm
+from .metrics import DEFAULT_CLUSTER, ClusterModel, RankMetrics, \
+    SpeedupCurve, SpeedupPoint, merge_all, modeled_parallel_time, \
+    modeled_speedup
+from .partition import Partition, even_split, partition_bytes, \
+    partition_rank_spmd, partition_records, partition_text_file
+from .spmd import BACKENDS, SpmdFailure, run_spmd
+
+__all__ = [
+    "Communicator", "SerialComm", "ThreadComm",
+    "run_spmd", "SpmdFailure", "BACKENDS",
+    "Partition", "even_split", "partition_bytes", "partition_text_file",
+    "partition_rank_spmd", "partition_records",
+    "RangeLineReader", "BufferedTextWriter", "BufferedBinaryWriter",
+    "RankMetrics", "ClusterModel", "DEFAULT_CLUSTER", "merge_all",
+    "modeled_parallel_time", "modeled_speedup",
+    "SpeedupCurve", "SpeedupPoint",
+]

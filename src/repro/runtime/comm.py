@@ -1,0 +1,191 @@
+"""MPI-style communicator abstraction.
+
+The paper's system is C++/MPI; this module provides the same programming
+model — ``rank``/``size``, point-to-point ``send``/``recv``, and the
+collectives the converters and Algorithm 2 need — over three backends:
+
+* :class:`SerialComm` — size 1, for sequential execution;
+* :class:`ThreadComm` — ranks as threads in one process (shared memory);
+* a process backend in :mod:`repro.runtime.spmd` for real parallelism.
+
+Only blocking operations are provided because the paper's algorithms are
+bulk-synchronous: communicate at phase boundaries, barrier, proceed.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..errors import RuntimeLayerError
+
+
+def _check_rank(rank: int, size: int, label: str) -> None:
+    if not 0 <= rank < size:
+        raise RuntimeLayerError(f"{label} {rank} outside [0, {size})")
+
+
+class Communicator(ABC):
+    """Abstract bulk-synchronous communicator (MPI subset)."""
+
+    #: This process's 0-based rank.
+    rank: int
+    #: Number of ranks in the world.
+    size: int
+
+    @abstractmethod
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send of a picklable object to rank *dest*."""
+
+    @abstractmethod
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive of the next object from rank *source*."""
+
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+
+    # -- collectives built on point-to-point ------------------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast *obj* from *root*; every rank returns the value."""
+        _check_rank(root, self.size, "root")
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=-1)
+            return obj
+        return self.recv(root, tag=-1)
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one value per rank from *root*'s sequence."""
+        _check_rank(root, self.size, "root")
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise RuntimeLayerError(
+                    "scatter requires exactly one value per rank at root")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(values[dest], dest, tag=-2)
+            return values[root]
+        return self.recv(root, tag=-2)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather every rank's value at *root* (None elsewhere)."""
+        _check_rank(root, self.size, "root")
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for source in range(self.size):
+                if source != root:
+                    out[source] = self.recv(source, tag=-3)
+            return out
+        self.send(obj, root, tag=-3)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather every rank's value on every rank."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any],
+               root: int = 0) -> Any | None:
+        """Reduce values with binary *op* at *root* (None elsewhere)."""
+        gathered = self.gather(value, root=root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce on rank 0 then broadcast the result to everyone."""
+        reduced = self.reduce(value, op, root=0)
+        return self.bcast(reduced, root=0)
+
+
+class SerialComm(Communicator):
+    """The trivial single-rank world."""
+
+    rank = 0
+    size = 1
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        raise RuntimeLayerError("cannot send in a single-rank world")
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        raise RuntimeLayerError("cannot recv in a single-rank world")
+
+    def barrier(self) -> None:
+        return
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        _check_rank(root, 1, "root")
+        return obj
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        _check_rank(root, 1, "root")
+        if values is None or len(values) != 1:
+            raise RuntimeLayerError("scatter requires one value per rank")
+        return values[0]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any]:
+        _check_rank(root, 1, "root")
+        return [obj]
+
+
+class _ThreadWorld:
+    """Shared state for one :class:`ThreadComm` world."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise RuntimeLayerError(f"world size {size} must be >= 1")
+        self.size = size
+        # mailboxes[dest][source] keeps per-pair FIFO ordering.
+        self.mailboxes = [
+            [queue.SimpleQueue() for _ in range(size)] for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+
+class ThreadComm(Communicator):
+    """One rank of a threads-in-one-process world.
+
+    Create the shared world once with :meth:`create_world`, then hand one
+    communicator to each rank's thread.
+    """
+
+    def __init__(self, world: _ThreadWorld, rank: int) -> None:
+        _check_rank(rank, world.size, "rank")
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    @classmethod
+    def create_world(cls, size: int) -> list["ThreadComm"]:
+        """Build a world of *size* communicators sharing mailboxes."""
+        world = _ThreadWorld(size)
+        return [cls(world, rank) for rank in range(size)]
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        _check_rank(dest, self.size, "dest")
+        if dest == self.rank:
+            raise RuntimeLayerError("send to self would deadlock")
+        self._world.mailboxes[dest][self.rank].put((tag, obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        _check_rank(source, self.size, "source")
+        if source == self.rank:
+            raise RuntimeLayerError("recv from self would deadlock")
+        got_tag, obj = self._world.mailboxes[self.rank][source].get()
+        if got_tag != tag:
+            raise RuntimeLayerError(
+                f"rank {self.rank} expected tag {tag} from {source}, "
+                f"got {got_tag} (mismatched protocol)")
+        return obj
+
+    def barrier(self) -> None:
+        self._world.barrier.wait()

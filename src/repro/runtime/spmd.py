@@ -1,0 +1,172 @@
+"""SPMD launcher: run one function on every rank of a world.
+
+``run_spmd(fn, size)`` plays the role of ``mpiexec -n size``: *fn* is
+called as ``fn(comm, *args)`` on every rank and the per-rank return
+values come back as a list.  Three backends:
+
+* ``"serial"`` — size must be 1; runs inline.
+* ``"thread"`` — one thread per rank (shared memory; correct semantics,
+  no speedup under the GIL).
+* ``"process"`` — one OS process per rank via :mod:`multiprocessing`
+  pipes (true parallelism where cores exist; *fn* and its arguments must
+  be picklable).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import traceback
+from collections.abc import Callable
+from typing import Any
+
+from ..errors import RuntimeLayerError
+from .comm import Communicator, SerialComm, ThreadComm
+
+#: Backends accepted by :func:`run_spmd`.
+BACKENDS = ("serial", "thread", "process")
+
+
+class SpmdFailure(RuntimeLayerError):
+    """One or more ranks raised; carries per-rank tracebacks."""
+
+    def __init__(self, failures: dict[int, str]) -> None:
+        self.failures = failures
+        ranks = ", ".join(str(r) for r in sorted(failures))
+        detail = "\n".join(f"--- rank {r} ---\n{tb}"
+                           for r, tb in sorted(failures.items()))
+        super().__init__(f"SPMD ranks [{ranks}] failed:\n{detail}")
+
+
+def _thread_backend(fn: Callable[..., Any], size: int,
+                    args: tuple[Any, ...]) -> list[Any]:
+    comms = ThreadComm.create_world(size)
+    results: list[Any] = [None] * size
+    failures: dict[int, str] = {}
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], *args)
+        except Exception:  # noqa: BLE001 - reported collectively below
+            failures[rank] = traceback.format_exc()
+            comms[rank]._world.barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(rank,), daemon=True)
+               for rank in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if failures:
+        raise SpmdFailure(failures)
+    return results
+
+
+class _PipeComm(Communicator):
+    """Communicator over multiprocessing pipes (one per ordered pair)."""
+
+    def __init__(self, rank: int, size: int, conns: dict[int, Any],
+                 barrier: Any) -> None:
+        self.rank = rank
+        self.size = size
+        self._conns = conns   # peer rank -> Connection
+        self._barrier = barrier
+        self._pending: dict[tuple[int, int], list[Any]] = {}
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if dest == self.rank:
+            raise RuntimeLayerError("send to self would deadlock")
+        if not 0 <= dest < self.size:
+            raise RuntimeLayerError(f"dest {dest} outside [0, {self.size})")
+        self._conns[dest].send((tag, obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if source == self.rank:
+            raise RuntimeLayerError("recv from self would deadlock")
+        if not 0 <= source < self.size:
+            raise RuntimeLayerError(
+                f"source {source} outside [0, {self.size})")
+        stash = self._pending.get((source, tag))
+        if stash:
+            return stash.pop(0)
+        while True:
+            got_tag, obj = self._conns[source].recv()
+            if got_tag == tag:
+                return obj
+            self._pending.setdefault((source, got_tag), []).append(obj)
+
+    def barrier(self) -> None:
+        self._barrier.wait()
+
+
+def _process_worker(fn: Callable[..., Any], rank: int, size: int,
+                    conns: dict[int, Any], barrier: Any, result_conn: Any,
+                    args: tuple[Any, ...]) -> None:
+    comm = _PipeComm(rank, size, conns, barrier)
+    try:
+        result = fn(comm, *args)
+        result_conn.send(("ok", result))
+    except Exception:  # noqa: BLE001 - reported collectively by parent
+        result_conn.send(("error", traceback.format_exc()))
+
+
+def _process_backend(fn: Callable[..., Any], size: int,
+                     args: tuple[Any, ...]) -> list[Any]:
+    ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
+    # One duplex pipe per unordered pair of ranks.
+    pair_conns: dict[int, dict[int, Any]] = {r: {} for r in range(size)}
+    for a in range(size):
+        for b in range(a + 1, size):
+            ca, cb = ctx.Pipe(duplex=True)
+            pair_conns[a][b] = ca
+            pair_conns[b][a] = cb
+    barrier = ctx.Barrier(size)
+    result_pipes = [ctx.Pipe(duplex=False) for _ in range(size)]
+    procs = []
+    for rank in range(size):
+        p = ctx.Process(
+            target=_process_worker,
+            args=(fn, rank, size, pair_conns[rank], barrier,
+                  result_pipes[rank][1], args))
+        p.start()
+        procs.append(p)
+    results: list[Any] = [None] * size
+    failures: dict[int, str] = {}
+    for rank, (recv_end, _) in enumerate(result_pipes):
+        status, payload = recv_end.recv()
+        if status == "ok":
+            results[rank] = payload
+        else:
+            failures[rank] = payload
+    for p in procs:
+        p.join()
+    if failures:
+        raise SpmdFailure(failures)
+    return results
+
+
+def run_spmd(fn: Callable[..., Any], size: int, *args: Any,
+             backend: str = "thread") -> list[Any]:
+    """Run ``fn(comm, *args)`` on *size* ranks; return per-rank results.
+
+    Parameters
+    ----------
+    fn:
+        The rank program.  Receives a :class:`Communicator` first.
+    size:
+        World size (>= 1).
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"`` (see module docs).
+    """
+    if size < 1:
+        raise RuntimeLayerError(f"world size {size} must be >= 1")
+    if backend not in BACKENDS:
+        raise RuntimeLayerError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend == "serial" or size == 1:
+        if backend == "serial" and size != 1:
+            raise RuntimeLayerError("serial backend requires size == 1")
+        return [fn(SerialComm(), *args)] if size == 1 else []
+    if backend == "thread":
+        return _thread_backend(fn, size, args)
+    return _process_backend(fn, size, args)

@@ -1,0 +1,17 @@
+"""Synthetic-workload substrate: genome synthesis, Illumina-like read
+simulation, a seed-and-extend aligner (BWA stand-in), and one-call
+dataset builders."""
+
+from .aligner import Aligner, AlignerConfig, KmerIndex, coordinate_sort
+from .genome import Genome, synthesize_chromosome
+from .reads import ReadSimConfig, ReadSimulator, SimulatedRead
+from .workload import Workload, build_alignments, build_bam_dataset, \
+    build_histogram, build_sam_dataset, build_simulations
+
+__all__ = [
+    "Genome", "synthesize_chromosome",
+    "ReadSimulator", "ReadSimConfig", "SimulatedRead",
+    "Aligner", "AlignerConfig", "KmerIndex", "coordinate_sort",
+    "Workload", "build_alignments", "build_sam_dataset",
+    "build_bam_dataset", "build_histogram", "build_simulations",
+]

@@ -1,0 +1,410 @@
+"""Seed-and-extend read aligner: the BWA stand-in.
+
+Builds an exact k-mer hash index over the reference and aligns each
+read by seeding at several offsets, voting candidate positions, and
+scoring full-length Hamming extensions.  Substitution-only alignment is
+exactly what the read simulator produces, so the aligner recovers the
+simulated positions with high fidelity (verified in tests); reads
+overhanging chromosome ends are soft-clipped, junk reads come out
+unmapped — giving conversion tests the full variety of record shapes.
+
+MAPQ follows the classic two-best-hits heuristic: the score gap between
+the best and second-best candidate, capped at 60.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..formats.flags import Flag
+from ..formats.header import SamHeader
+from ..formats.record import UNMAPPED_POS, AlignmentRecord
+from ..formats.seq import reverse_complement
+from ..formats.tags import Tag
+from .genome import Genome
+from .reads import SimulatedRead
+
+
+@dataclass(frozen=True, slots=True)
+class AlignerConfig:
+    """Aligner parameters."""
+
+    k: int = 21                  # seed length
+    seeds_per_read: int = 4      # evenly spaced seed offsets
+    max_mismatch_frac: float = 0.25  # reject alignments worse than this
+    gapped: bool = False         # banded-DP refinement (I/D CIGARs)
+    band: int = 5                # diagonal slack for gapped alignment
+
+    def __post_init__(self) -> None:
+        if self.k < 8:
+            raise ReproError("seed length k must be >= 8")
+        if self.seeds_per_read < 1:
+            raise ReproError("seeds_per_read must be >= 1")
+        if not 1 <= self.band <= 16:
+            raise ReproError("band must be in [1, 16]")
+
+
+@dataclass(slots=True)
+class _Hit:
+    chrom_i: int
+    pos: int
+    mismatches: int
+
+
+class KmerIndex:
+    """Exact k-mer -> positions index over a genome."""
+
+    def __init__(self, genome: Genome, k: int) -> None:
+        self.genome = genome
+        self.k = k
+        self._table: dict[str, list[tuple[int, int]]] = defaultdict(list)
+        for chrom_i, chrom in enumerate(genome.chromosomes):
+            seq = chrom.sequence
+            for pos in range(0, len(seq) - k + 1):
+                self._table[seq[pos:pos + k]].append((chrom_i, pos))
+
+    def lookup(self, kmer: str) -> list[tuple[int, int]]:
+        """All (chromosome index, position) occurrences of *kmer*."""
+        return self._table.get(kmer, [])
+
+
+def banded_semiglobal(read: str, window: str,
+                      ) -> tuple[int, int, list[tuple[int, str]]]:
+    """Semi-global edit-distance alignment of *read* inside *window*.
+
+    The whole read must align; leading and trailing reference bases in
+    the window are free.  Unit costs for mismatch, insertion (read base
+    not in reference) and deletion (reference base skipped).
+
+    Returns ``(distance, read_start_offset_in_window, cigar)`` where the
+    CIGAR uses M (match/mismatch), I and D, and the offset locates the
+    first aligned reference base.
+    """
+    n, m = len(read), len(window)
+    if n == 0:
+        return 0, 0, []
+    inf = 1 << 30
+    # dist[i][j]: best cost aligning read[:i] ending at window[:j].
+    width = m + 1
+    dist = [[0] * width for _ in range(n + 1)]
+    move = [[0] * width for _ in range(n + 1)]  # 1=diag 2=up(I) 3=left(D)
+    for j in range(width):
+        dist[0][j] = 0  # free leading reference
+    for i in range(1, n + 1):
+        row = dist[i]
+        prev = dist[i - 1]
+        mrow = move[i]
+        ri = read[i - 1]
+        row[0] = i  # read prefix unmatched -> insertions
+        mrow[0] = 2
+        for j in range(1, width):
+            diag = prev[j - 1] + (0 if ri == window[j - 1] else 1)
+            up = prev[j] + 1
+            left = row[j - 1] + 1
+            best = diag
+            code = 1
+            if up < best:
+                best, code = up, 2
+            if left < best:
+                best, code = left, 3
+            row[j] = best
+            mrow[j] = code
+    end_j = min(range(width), key=lambda j: dist[n][j])
+    distance = dist[n][end_j]
+    # Traceback to recover the CIGAR and the alignment start.
+    ops: list[str] = []
+    i, j = n, end_j
+    while i > 0:
+        code = move[i][j]
+        if code == 1:
+            ops.append("M")
+            i -= 1
+            j -= 1
+        elif code == 2:
+            ops.append("I")
+            i -= 1
+        else:
+            ops.append("D")
+            j -= 1
+    ops.reverse()
+    cigar: list[tuple[int, str]] = []
+    for op in ops:
+        if cigar and cigar[-1][1] == op:
+            cigar[-1] = (cigar[-1][0] + 1, op)
+        else:
+            cigar.append((1, op))
+    if distance >= inf:  # pragma: no cover - defensive
+        raise ReproError("banded alignment overflow")
+    return distance, j, cigar
+
+
+def _hamming(a: str, b: str, limit: int) -> int:
+    """Mismatch count between equal-length strings, early-exit at
+    *limit* (returns limit + 1 when exceeded)."""
+    mismatches = 0
+    for x, y in zip(a, b):
+        if x != y:
+            mismatches += 1
+            if mismatches > limit:
+                return limit + 1
+    return mismatches
+
+
+class Aligner:
+    """Align simulated reads against a genome, producing SAM records."""
+
+    #: Read-group id stamped on every aligned record (RG tag + @RG).
+    READ_GROUP = "sim1"
+
+    def __init__(self, genome: Genome,
+                 config: AlignerConfig | None = None) -> None:
+        self.genome = genome
+        self.config = config or AlignerConfig()
+        self.index = KmerIndex(genome, self.config.k)
+        self.header = SamHeader.from_references(genome.references,
+                                                sort_order="unsorted")
+        from ..formats.header import HeaderLine
+        self.header.lines.append(HeaderLine(
+            "RG", [("ID", self.READ_GROUP), ("SM", "sample1"),
+                   ("PL", "ILLUMINA")]))
+        self.header.lines.append(HeaderLine(
+            "PG", [("ID", "repro-aligner"), ("PN", "repro"),
+                   ("VN", "1.0")]))
+
+    # -- single-end core ---------------------------------------------------
+
+    def _candidates(self, seq: str, keep_all: bool = False) -> list[_Hit]:
+        """Seed, vote, and extend; return scored candidate placements.
+
+        With *keep_all* (the gapped path), candidates above the Hamming
+        limit are kept — an indel shifts every downstream base, so the
+        Hamming score over-counts and the banded DP must re-score.
+        """
+        cfg = self.config
+        k = cfg.k
+        n = len(seq)
+        if n < k:
+            return []
+        offsets = [int(i * (n - k) / max(1, cfg.seeds_per_read - 1))
+                   for i in range(cfg.seeds_per_read)]
+        votes: dict[tuple[int, int], int] = defaultdict(int)
+        for off in dict.fromkeys(offsets):
+            for chrom_i, pos in self.index.lookup(seq[off:off + k]):
+                votes[(chrom_i, pos - off)] += 1
+        limit = int(cfg.max_mismatch_frac * n)
+        hamming_cap = n if keep_all else limit
+        hits = []
+        for (chrom_i, start) in sorted(votes,
+                                       key=lambda c: -votes[c])[:16]:
+            chrom_seq = self.genome.chromosomes[chrom_i].sequence
+            lo = max(0, start)
+            hi = min(len(chrom_seq), start + n)
+            if hi - lo < k:
+                continue
+            mism = _hamming(seq[lo - start:hi - start], chrom_seq[lo:hi],
+                            hamming_cap)
+            # Overhanging bases count as clipped, not mismatched.
+            if mism <= hamming_cap:
+                hits.append(_Hit(chrom_i, start, mism))
+        hits.sort(key=lambda h: h.mismatches)
+        return hits
+
+    def _align_one(self, seq: str) -> tuple[_Hit | None, int, bool]:
+        """Best placement of *seq* on either strand.
+
+        Returns ``(hit, mapq, is_reverse)``; hit None means unmapped.
+        """
+        fwd = self._candidates(seq)
+        rev = self._candidates(reverse_complement(seq))
+        best: _Hit | None = None
+        second: _Hit | None = None
+        best_rev = False
+        for hit, is_rev in ([(h, False) for h in fwd[:2]]
+                            + [(h, True) for h in rev[:2]]):
+            if best is None or hit.mismatches < best.mismatches:
+                second = best
+                best, best_rev = hit, is_rev
+            elif second is None or hit.mismatches < second.mismatches:
+                second = hit
+        if best is None:
+            return None, 0, False
+        if second is None:
+            mapq = 60
+        else:
+            mapq = min(60, max(0, 6 * (second.mismatches - best.mismatches)))
+        return best, mapq, best_rev
+
+    def _build_cigar(self, pos: int, read_len: int,
+                     chrom_len: int) -> tuple[list[tuple[int, str]], int]:
+        """CIGAR with soft-clips for reference overhang.
+
+        Returns the ops and the clipped (final) 0-based position.
+        """
+        left_clip = max(0, -pos)
+        right_clip = max(0, pos + read_len - chrom_len)
+        matched = read_len - left_clip - right_clip
+        ops: list[tuple[int, str]] = []
+        if left_clip:
+            ops.append((left_clip, "S"))
+        ops.append((matched, "M"))
+        if right_clip:
+            ops.append((right_clip, "S"))
+        return ops, max(0, pos)
+
+    # -- paired-end API ----------------------------------------------------
+
+    def align_pair(self, read1: SimulatedRead, read2: SimulatedRead,
+                   ) -> tuple[AlignmentRecord, AlignmentRecord]:
+        """Align a template's two reads and cross-link the mate fields."""
+        rec1 = self._align_read(read1)
+        rec2 = self._align_read(read2)
+        _pair_up(rec1, rec2)
+        return rec1, rec2
+
+    def _align_one_gapped(self, seq: str,
+                          ) -> tuple[int, int, list[tuple[int, str]],
+                                     int, int, bool] | None:
+        """Banded-DP alignment of *seq* on either strand.
+
+        Returns ``(chrom_i, pos, cigar, distance, mapq, is_reverse)`` or
+        None when no placement passes the edit-distance limit.
+        """
+        cfg = self.config
+        limit = int(cfg.max_mismatch_frac * len(seq))
+        best: tuple[int, int, int, list[tuple[int, str]], bool] | None \
+            = None  # (dist, chrom_i, pos, cigar, is_rev)
+        second: int | None = None
+        for is_rev, oriented in ((False, seq),
+                                 (True, reverse_complement(seq))):
+            for hit in self._candidates(oriented, keep_all=True)[:3]:
+                chrom_seq = \
+                    self.genome.chromosomes[hit.chrom_i].sequence
+                w_lo = max(0, hit.pos - cfg.band)
+                w_hi = min(len(chrom_seq),
+                           hit.pos + len(oriented) + cfg.band)
+                if w_hi - w_lo < len(oriented):
+                    continue  # window clipped by a chromosome edge
+                dist, off, cigar = banded_semiglobal(
+                    oriented, chrom_seq[w_lo:w_hi])
+                pos = w_lo + off
+                if best is not None and hit.chrom_i == best[1] \
+                        and pos == best[2]:
+                    continue  # same placement found via another diagonal
+                if best is None or dist < best[0]:
+                    second = best[0] if best is not None else None
+                    best = (dist, hit.chrom_i, pos, cigar, is_rev)
+                elif second is None or dist < second:
+                    second = dist
+        if best is None or best[0] > limit:
+            return None
+        mapq = 60 if second is None \
+            else min(60, max(0, 6 * (second - best[0])))
+        dist, chrom_i, pos, cigar, is_rev = best
+        return chrom_i, pos, cigar, dist, mapq, is_rev
+
+    def _align_read(self, read: SimulatedRead) -> AlignmentRecord:
+        if self.config.gapped:
+            return self._align_read_gapped(read)
+        hit, mapq, is_rev = self._align_one(read.sequence)
+        flag = int(Flag.PAIRED)
+        flag |= int(Flag.READ1 if read.mate == 1 else Flag.READ2)
+        if hit is None:
+            flag |= int(Flag.UNMAPPED)
+            return AlignmentRecord(
+                qname=read.name, flag=flag, rname="*", pos=UNMAPPED_POS,
+                mapq=0, cigar=[], rnext="*", pnext=UNMAPPED_POS, tlen=0,
+                seq=read.sequence, qual=read.quality, tags=[])
+        chrom = self.genome.chromosomes[hit.chrom_i]
+        cigar, pos = self._build_cigar(hit.pos, len(read.sequence),
+                                       len(chrom.sequence))
+        seq = read.sequence
+        qual = read.quality
+        if is_rev:
+            flag |= int(Flag.REVERSE)
+            seq = reverse_complement(seq)
+            qual = qual[::-1]
+            cigar = list(reversed(cigar))
+        return AlignmentRecord(
+            qname=read.name, flag=flag, rname=chrom.name, pos=pos,
+            mapq=mapq, cigar=cigar, rnext="*", pnext=UNMAPPED_POS, tlen=0,
+            seq=seq, qual=qual,
+            tags=[Tag("NM", "i", hit.mismatches),
+                  Tag("AS", "i", len(read.sequence) - hit.mismatches),
+                  Tag("RG", "Z", self.READ_GROUP)])
+
+    def _align_read_gapped(self, read: SimulatedRead) -> AlignmentRecord:
+        """Gapped-mode alignment producing M/I/D CIGARs."""
+        result = self._align_one_gapped(read.sequence)
+        flag = int(Flag.PAIRED)
+        flag |= int(Flag.READ1 if read.mate == 1 else Flag.READ2)
+        if result is None:
+            flag |= int(Flag.UNMAPPED)
+            return AlignmentRecord(
+                qname=read.name, flag=flag, rname="*", pos=UNMAPPED_POS,
+                mapq=0, cigar=[], rnext="*", pnext=UNMAPPED_POS, tlen=0,
+                seq=read.sequence, qual=read.quality, tags=[])
+        chrom_i, pos, cigar, dist, mapq, is_rev = result
+        chrom = self.genome.chromosomes[chrom_i]
+        seq = read.sequence
+        qual = read.quality
+        if is_rev:
+            flag |= int(Flag.REVERSE)
+            seq = reverse_complement(seq)
+            qual = qual[::-1]
+        return AlignmentRecord(
+            qname=read.name, flag=flag, rname=chrom.name, pos=pos,
+            mapq=mapq, cigar=cigar, rnext="*", pnext=UNMAPPED_POS,
+            tlen=0, seq=seq, qual=qual,
+            tags=[Tag("NM", "i", dist),
+                  Tag("AS", "i", len(read.sequence) - dist),
+                  Tag("RG", "Z", self.READ_GROUP)])
+
+    def align_all(self, pairs: list[tuple[SimulatedRead, SimulatedRead]],
+                  ) -> list[AlignmentRecord]:
+        """Align every pair; records come out in template order."""
+        records = []
+        for read1, read2 in pairs:
+            rec1, rec2 = self.align_pair(read1, read2)
+            records.append(rec1)
+            records.append(rec2)
+        return records
+
+
+def _pair_up(rec1: AlignmentRecord, rec2: AlignmentRecord) -> None:
+    """Fill mutual mate fields and the proper-pair/TLEN bookkeeping."""
+    for rec, mate in ((rec1, rec2), (rec2, rec1)):
+        if mate.is_mapped:
+            rec.rnext = "=" if (rec.is_mapped
+                                and mate.rname == rec.rname) else mate.rname
+            rec.pnext = mate.pos
+            if mate.is_reverse:
+                rec.flag |= int(Flag.MATE_REVERSE)
+        else:
+            rec.flag |= int(Flag.MATE_UNMAPPED)
+            rec.rnext = "*"
+            rec.pnext = UNMAPPED_POS
+    if (rec1.is_mapped and rec2.is_mapped
+            and rec1.rname == rec2.rname
+            and rec1.is_reverse != rec2.is_reverse):
+        left, right = (rec1, rec2) if rec1.pos <= rec2.pos else (rec2, rec1)
+        span = right.end - left.pos
+        if 0 < span < 10_000 and not left.is_reverse and right.is_reverse:
+            rec1.flag |= int(Flag.PROPER_PAIR)
+            rec2.flag |= int(Flag.PROPER_PAIR)
+            left.tlen = span
+            right.tlen = -span
+
+
+def coordinate_sort(records: list[AlignmentRecord],
+                    header: SamHeader) -> list[AlignmentRecord]:
+    """Sort records by (reference id, position); unplaced records last.
+
+    This is what samtools sort does and what BAI/BAIX building needs.
+    """
+    def key(record: AlignmentRecord) -> tuple[int, int]:
+        if record.rname == "*" or record.pos < 0:
+            return (1 << 30, 0)
+        return (header.ref_id(record.rname), record.pos)
+    return sorted(records, key=key)

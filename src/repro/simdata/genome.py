@@ -1,0 +1,86 @@
+"""Synthetic reference genomes.
+
+Stands in for the paper's mouse reference (mm9): random nucleotide
+sequences with a configurable GC content, deterministic under a seed.
+Sizes are scaled down so the full pipeline runs in seconds, which is
+valid because every downstream cost is per-record/per-base, not
+organism-specific.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..formats.fasta import FastaRecord
+
+#: Alphabet used for simulated references.
+BASES = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def synthesize_chromosome(name: str, length: int, rng: np.random.Generator,
+                          gc_content: float = 0.42) -> FastaRecord:
+    """Generate one chromosome of *length* random bases.
+
+    *gc_content* sets P(G) + P(C); A/T and G/C are split evenly.
+    """
+    if length <= 0:
+        raise ReproError(f"chromosome length {length} must be positive")
+    if not 0.0 <= gc_content <= 1.0:
+        raise ReproError(f"GC content {gc_content} outside [0, 1]")
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    codes = rng.choice(4, size=length, p=[at, gc, gc, at])
+    seq = BASES[codes].tobytes().decode("ascii")
+    return FastaRecord(name, seq)
+
+
+class Genome:
+    """A set of named chromosomes with convenience accessors."""
+
+    def __init__(self, chromosomes: list[FastaRecord]) -> None:
+        if not chromosomes:
+            raise ReproError("genome needs at least one chromosome")
+        self.chromosomes = chromosomes
+        self._by_name = {c.name: c for c in chromosomes}
+        if len(self._by_name) != len(chromosomes):
+            raise ReproError("duplicate chromosome names")
+
+    @classmethod
+    def synthesize(cls, spec: list[tuple[str, int]], seed: int = 0,
+                   gc_content: float = 0.42) -> "Genome":
+        """Generate a genome from ``[(name, length), ...]``."""
+        rng = np.random.default_rng(seed)
+        return cls([synthesize_chromosome(name, length, rng, gc_content)
+                    for name, length in spec])
+
+    @property
+    def names(self) -> list[str]:
+        """Chromosome names in declaration order."""
+        return [c.name for c in self.chromosomes]
+
+    @property
+    def references(self) -> list[tuple[str, int]]:
+        """``(name, length)`` pairs for building SAM headers."""
+        return [(c.name, len(c.sequence)) for c in self.chromosomes]
+
+    @property
+    def total_length(self) -> int:
+        """Sum of chromosome lengths."""
+        return sum(len(c.sequence) for c in self.chromosomes)
+
+    def sequence(self, name: str) -> str:
+        """Full sequence of chromosome *name*."""
+        try:
+            return self._by_name[name].sequence
+        except KeyError:
+            raise ReproError(f"no chromosome named {name!r}") from None
+
+    def fetch(self, name: str, start: int, end: int) -> str:
+        """Subsequence ``[start, end)`` of chromosome *name*."""
+        seq = self.sequence(name)
+        if not 0 <= start <= end <= len(seq):
+            raise ReproError(
+                f"range [{start}, {end}) outside {name!r} "
+                f"of length {len(seq)}")
+        return seq[start:end]

@@ -1,0 +1,68 @@
+"""O(N(2r+1)) NL-means via prefix-sum sliding windows.
+
+The paper's kernel (and :mod:`repro.stats.nlmeans`) costs
+Theta(N (2r+1) (2l+1)): for each of the 2r+1 search offsets, every
+patch distance is a fresh (2l+1)-term sum.  Those sums overlap — the
+distance at centre i+1 reuses 2l of centre i's terms — so a running
+prefix sum removes the (2l+1) factor entirely.
+
+The price is *partition variance*: a prefix sum accumulates in array
+order, so the floating-point rounding of a given window depends on
+where the partition started.  Results therefore match the exact kernel
+to ~1e-9 relative tolerance rather than bitwise, which is why this
+lives beside the reference kernel instead of replacing it (the parallel
+converter asserts bitwise equality).  The speed difference is
+quantified in ``benchmarks/bench_ablation_nlmeans_fast.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from .nlmeans import _validate
+
+
+def nlmeans_fast(values: np.ndarray, search_radius: int = 20,
+                 half_patch: int = 15, sigma: float = 10.0) -> np.ndarray:
+    """Prefix-sum NL-means; numerically ~equal to :func:`nlmeans`."""
+    v = _validate(values, search_radius, half_patch, sigma)
+    r, l = search_radius, half_patch
+    halo = r + l
+    padded = np.pad(v, halo, mode="edge")
+    n = len(v)
+    width = 2 * l + 1
+    inv = -1.0 / (2.0 * sigma * sigma)
+    numerator = np.zeros(n)
+    z = np.zeros(n)
+    core = halo  # index of v[0] inside padded
+    for d in range(-r, r + 1):
+        # Squared differences for every aligned pair this offset needs:
+        # window centres span [core - l, core + n - 1 + l].
+        base = padded[core - l:core + n + l]
+        shifted = padded[core + d - l:core + d + n + l]
+        sq = (base - shifted) ** 2
+        # Sliding 2l+1 sums via one prefix-sum pass: O(n) per offset.
+        csum = np.empty(len(sq) + 1)
+        csum[0] = 0.0
+        np.cumsum(sq, out=csum[1:])
+        dist = csum[width:] - csum[:-width]
+        w = np.exp(inv * dist)
+        numerator += w * padded[core + d:core + d + n]
+        z += w
+    return numerator / z
+
+
+def nlmeans_auto(values: np.ndarray, search_radius: int = 20,
+                 half_patch: int = 15, sigma: float = 10.0,
+                 exact: bool = False) -> np.ndarray:
+    """Pick the kernel: exact (partition-invariant) or fast prefix-sum.
+
+    ``exact=True`` routes to :func:`repro.stats.nlmeans.nlmeans`.
+    """
+    if exact:
+        from .nlmeans import nlmeans
+        return nlmeans(values, search_radius, half_patch, sigma)
+    if half_patch < 0:
+        raise ReproError(f"half patch size {half_patch} must be >= 0")
+    return nlmeans_fast(values, search_radius, half_patch, sigma)

@@ -1,0 +1,8 @@
+"""Dataset utilities: flag statistics and structural validation
+(samtools-flagstat and Picard-ValidateSamFile equivalents)."""
+
+from .flagstat import FlagStats, flagstat, flagstat_parallel
+from .validate import ValidationIssue, ValidationReport, validate_file
+
+__all__ = ["FlagStats", "flagstat", "flagstat_parallel",
+           "ValidationIssue", "ValidationReport", "validate_file"]

@@ -1,0 +1,56 @@
+"""Shared fixtures: one small synthetic workload reused across tests.
+
+The workload fixtures are session-scoped because building them (genome,
+reads, alignment) dominates test time; tests must not mutate the shared
+records in place.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.formats.bam import write_bam
+from repro.formats.sam import write_sam
+from repro.simdata import build_alignments
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """(genome, header, coordinate-sorted records) for ~400 records."""
+    return build_alignments(200, seed=11)
+
+
+@pytest.fixture(scope="session")
+def unsorted_workload():
+    """Same pipeline without the coordinate sort (template order)."""
+    return build_alignments(120, seed=12, sort=False)
+
+
+@pytest.fixture(scope="session")
+def sam_file(workload, tmp_path_factory):
+    """The shared workload written as a SAM file."""
+    genome, header, records = workload
+    path = tmp_path_factory.mktemp("data") / "sample.sam"
+    write_sam(path, header, records)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def bam_file(workload, tmp_path_factory):
+    """The shared workload written as a BAM file."""
+    genome, header, records = workload
+    path = tmp_path_factory.mktemp("data") / "sample.bam"
+    write_bam(path, header, records)
+    return str(path)
+
+
+@pytest.fixture()
+def records(workload):
+    """The shared records list (do not mutate elements)."""
+    return workload[2]
+
+
+@pytest.fixture()
+def header(workload):
+    """The shared coordinate-sorted header."""
+    return workload[1]

@@ -1,0 +1,153 @@
+"""Tests for the seed-and-extend aligner (the BWA stand-in)."""
+
+import pytest
+
+from repro.formats.flags import Flag
+from repro.simdata.aligner import Aligner, AlignerConfig, KmerIndex, \
+    coordinate_sort
+from repro.simdata.genome import Genome
+from repro.simdata.reads import ReadSimConfig, ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    genome = Genome.synthesize([("chr1", 20_000), ("chr2", 10_000)],
+                               seed=21)
+    sim = ReadSimulator(genome, ReadSimConfig(junk_fraction=0.0), seed=22)
+    aligner = Aligner(genome)
+    return genome, sim, aligner
+
+
+def test_kmer_index_lookup():
+    genome = Genome.synthesize([("c", 500)], seed=1)
+    index = KmerIndex(genome, k=15)
+    seq = genome.sequence("c")
+    hits = index.lookup(seq[100:115])
+    assert (0, 100) in hits
+    assert index.lookup("Q" * 15) == []
+
+
+def test_aligner_recovers_simulated_positions(setup):
+    genome, sim, aligner = setup
+    pairs = sim.simulate(60)
+    correct = 0
+    total = 0
+    for r1, r2 in pairs:
+        rec1, rec2 = aligner.align_pair(r1, r2)
+        for rec, read in ((rec1, r1), (rec2, r2)):
+            total += 1
+            if rec.is_mapped and rec.rname == read.true_chrom \
+                    and rec.pos == read.true_pos \
+                    and rec.is_reverse == read.true_reverse:
+                correct += 1
+    assert correct / total > 0.95
+
+
+def test_junk_reads_come_out_unmapped(setup):
+    genome, _, aligner = setup
+    sim = ReadSimulator(genome, ReadSimConfig(junk_fraction=1.0), seed=30)
+    r1, r2 = sim.simulate_pair(0)
+    rec1, rec2 = aligner.align_pair(r1, r2)
+    assert not rec1.is_mapped and not rec2.is_mapped
+    assert rec1.rname == "*" and rec1.cigar == []
+    assert rec1.flag & Flag.MATE_UNMAPPED
+
+
+def test_mate_fields_cross_linked(setup):
+    genome, sim, aligner = setup
+    r1, r2 = sim.simulate_pair(0)
+    rec1, rec2 = aligner.align_pair(r1, r2)
+    if rec1.is_mapped and rec2.is_mapped:
+        assert rec1.pnext == rec2.pos
+        assert rec2.pnext == rec1.pos
+        assert rec1.rnext == "="
+        assert rec1.tlen == -rec2.tlen != 0
+
+
+def test_proper_pair_flag_for_fr_pairs(setup):
+    genome, sim, aligner = setup
+    proper = 0
+    pairs = sim.simulate(40)
+    for r1, r2 in pairs:
+        rec1, rec2 = aligner.align_pair(r1, r2)
+        if rec1.flag & Flag.PROPER_PAIR:
+            assert rec2.flag & Flag.PROPER_PAIR
+            proper += 1
+    assert proper > 30  # nearly every simulated pair is FR and close
+
+
+def test_records_validate(setup):
+    genome, sim, aligner = setup
+    for r1, r2 in sim.simulate(20):
+        rec1, rec2 = aligner.align_pair(r1, r2)
+        rec1.validate()
+        rec2.validate()
+
+
+def test_nm_tag_counts_mismatches(setup):
+    genome, sim, aligner = setup
+    for r1, r2 in sim.simulate(10):
+        rec1, _ = aligner.align_pair(r1, r2)
+        if rec1.is_mapped and rec1.pos == r1.true_pos:
+            nm = rec1.get_tag("NM")
+            ref_piece = genome.sequence(rec1.rname)[
+                rec1.pos:rec1.pos + len(r1.sequence)]
+            true_mismatches = sum(a != b for a, b
+                                  in zip(r1.sequence, ref_piece))
+            assert nm is not None and nm.value == true_mismatches
+
+
+def test_reverse_read_stored_forward(setup):
+    """SAM stores SEQ on the forward strand; original_sequence() must
+    recover the instrument read."""
+    genome, sim, aligner = setup
+    for r1, r2 in sim.simulate(10):
+        _, rec2 = aligner.align_pair(r1, r2)
+        if rec2.is_mapped and rec2.is_reverse:
+            assert rec2.original_sequence() == r2.sequence
+            assert rec2.original_qualities() == r2.quality
+
+
+def test_coordinate_sort(setup):
+    genome, sim, aligner = setup
+    records = aligner.align_all(sim.simulate(30))
+    sorted_records = coordinate_sort(records, aligner.header)
+    keys = []
+    for rec in sorted_records:
+        if rec.rname == "*" or rec.pos < 0:
+            keys.append((1 << 30, 0))
+        else:
+            keys.append((aligner.header.ref_id(rec.rname), rec.pos))
+    assert keys == sorted(keys)
+    assert sorted(id(r) for r in records) == \
+        sorted(id(r) for r in sorted_records)
+
+
+def test_read_group_stamped(setup):
+    genome, sim, aligner = setup
+    assert any(l.type == "RG" and l.get("ID") == Aligner.READ_GROUP
+               for l in aligner.header.lines)
+    assert any(l.type == "PG" for l in aligner.header.lines)
+    r1, r2 = sim.simulate_pair(0)
+    rec1, _ = aligner.align_pair(r1, r2)
+    if rec1.is_mapped:
+        rg = rec1.get_tag("RG")
+        assert rg is not None and rg.value == Aligner.READ_GROUP
+
+
+def test_read_group_survives_bam_roundtrip(setup, tmp_path):
+    from repro.formats.bam import read_bam, write_bam
+    genome, sim, aligner = setup
+    records = aligner.align_all(sim.simulate(5))
+    path = tmp_path / "rg.bam"
+    write_bam(path, aligner.header, records)
+    header, back = read_bam(path)
+    assert any(l.type == "RG" for l in header.lines)
+    assert back == records
+
+
+def test_config_validation():
+    with pytest.raises(Exception):
+        AlignerConfig(k=4)
+    with pytest.raises(Exception):
+        AlignerConfig(seeds_per_read=0)

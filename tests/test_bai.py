@@ -1,0 +1,88 @@
+"""Unit tests for the BAI index: build, save/load, region fetch."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.formats.bai import BaiIndex, default_index_path
+from repro.formats.bam import BamReader, write_bam
+from repro.formats.header import SamHeader
+from repro.formats.record import AlignmentRecord
+
+
+def brute_force_overlaps(records, chrom, beg, end):
+    return [r for r in records
+            if r.rname == chrom and r.is_mapped and r.pos < end
+            and r.end > beg]
+
+
+@pytest.fixture(scope="module")
+def indexed(bam_file):
+    return BaiIndex.from_bam(bam_file)
+
+
+def test_build_covers_all_references(indexed, workload):
+    _, header, _ = workload
+    assert len(indexed.refs) == len(header.references)
+
+
+def test_fetch_matches_brute_force(indexed, bam_file, workload):
+    _, header, records = workload
+    with BamReader(bam_file) as reader:
+        for chrom, beg, end in [("chr1", 0, 60_000), ("chr1", 5_000, 9_000),
+                                ("chr2", 0, 1_000), ("chr2", 10_000, 40_000),
+                                ("chr1", 59_000, 60_000)]:
+            got = list(indexed.fetch(reader, chrom, beg, end))
+            expected = brute_force_overlaps(records, chrom, beg, end)
+            assert got == expected, (chrom, beg, end)
+
+
+def test_fetch_empty_region(indexed, bam_file):
+    with BamReader(bam_file) as reader:
+        # A 1-base window in a gap is usually empty; at minimum it must
+        # not return non-overlapping records.
+        for rec in indexed.fetch(reader, "chr1", 0, 1):
+            assert rec.pos < 1 and rec.end > 0
+
+
+def test_save_load_roundtrip(indexed, tmp_path, bam_file, workload):
+    path = tmp_path / "t.bai"
+    indexed.save(path)
+    loaded = BaiIndex.load(path)
+    assert len(loaded.refs) == len(indexed.refs)
+    for a, b in zip(loaded.refs, indexed.refs):
+        assert a.bins == b.bins
+        assert a.linear == b.linear
+    _, _, records = workload
+    with BamReader(bam_file) as reader:
+        assert list(loaded.fetch(reader, "chr1", 100, 5_000)) == \
+            brute_force_overlaps(records, "chr1", 100, 5_000)
+
+
+def test_unsorted_bam_rejected(tmp_path):
+    header = SamHeader.from_references([("chr1", 10_000)])
+    records = [
+        AlignmentRecord("a", 0, "chr1", 500, 60, [(4, "M")], "*", -1, 0,
+                        "ACGT", "IIII"),
+        AlignmentRecord("b", 0, "chr1", 100, 60, [(4, "M")], "*", -1, 0,
+                        "ACGT", "IIII"),
+    ]
+    path = tmp_path / "unsorted.bam"
+    write_bam(path, header, records)
+    with pytest.raises(IndexError_):
+        BaiIndex.from_bam(path)
+
+
+def test_unknown_reference_in_query(indexed):
+    with pytest.raises(IndexError_):
+        indexed.candidate_chunks(99, 0, 100)
+
+
+def test_chunks_are_merged_and_sorted(indexed):
+    chunks = indexed.candidate_chunks(0, 0, 60_000)
+    assert chunks == sorted(chunks)
+    for (a_beg, a_end), (b_beg, b_end) in zip(chunks, chunks[1:]):
+        assert a_end < b_beg  # strictly disjoint after merging
+
+
+def test_default_index_path():
+    assert default_index_path("/x/y.bam") == "/x/y.bam.bai"

@@ -1,0 +1,150 @@
+"""Unit tests for the BAMX fixed-record format."""
+
+import pytest
+
+from repro.errors import BamxFormatError, CapacityError
+from repro.formats.bamx import BamxLayout, BamxReader, BamxWriter, \
+    plan_layout, read_bamx, write_bamx
+from repro.formats.header import SamHeader
+from repro.formats.record import UNMAPPED_POS, AlignmentRecord
+from repro.formats.tags import Tag
+
+HDR = SamHeader.from_references([("chr1", 100_000), ("chr2", 50_000)])
+
+
+def make_record(**overrides):
+    base = dict(qname="q1", flag=99, rname="chr1", pos=500, mapq=60,
+                cigar=[(4, "M")], rnext="=", pnext=700, tlen=204,
+                seq="ACGT", qual="IIII", tags=[Tag("NM", "i", 0)])
+    base.update(overrides)
+    return AlignmentRecord(**base)
+
+
+def test_layout_record_size_is_fixed():
+    layout = BamxLayout(name_cap=10, cigar_cap=3, seq_cap=9, tag_cap=8)
+    rec_small = make_record(qname="a", seq="AC", qual="II",
+                            cigar=[(2, "M")], tags=[])
+    rec_big = make_record(qname="abcdefghij", seq="ACGTACGTA",
+                          qual="IIIIIIIII", cigar=[(4, "M"), (1, "I"),
+                                                   (4, "M")])
+    a = layout.encode(rec_small, HDR)
+    b = layout.encode(rec_big, HDR)
+    assert len(a) == len(b) == layout.record_size
+
+
+def test_encode_decode_roundtrip():
+    layout = BamxLayout(8, 4, 16, 32)
+    for rec in (make_record(),
+                make_record(seq="*", qual="*", cigar=[]),
+                make_record(qual="*"),
+                make_record(flag=4 | 1, rname="*", pos=UNMAPPED_POS,
+                            mapq=0, cigar=[], rnext="*",
+                            pnext=UNMAPPED_POS, tlen=0, tags=[]),
+                make_record(rnext="chr2", pnext=3),
+                make_record(seq="ACGTA", qual="ABCDE",
+                            cigar=[(5, "M")])):
+        assert layout.decode(layout.encode(rec, HDR), HDR) == rec
+
+
+def test_capacity_violations():
+    layout = BamxLayout(name_cap=3, cigar_cap=1, seq_cap=4, tag_cap=4)
+    with pytest.raises(CapacityError):
+        layout.encode(make_record(qname="toolong"), HDR)
+    with pytest.raises(CapacityError):
+        layout.encode(make_record(cigar=[(2, "M"), (2, "M")]), HDR)
+    with pytest.raises(CapacityError):
+        layout.encode(make_record(seq="ACGTA", qual="IIIII",
+                                  cigar=[(5, "M")]), HDR)
+    with pytest.raises(CapacityError):
+        layout.encode(make_record(tags=[Tag("XZ", "Z", "long value")]),
+                      HDR)
+
+
+def test_plan_layout_is_tight():
+    records = [make_record(qname="abc", seq="ACGTAC", qual="IIIIII",
+                           cigar=[(6, "M")]),
+               make_record(qname="a", seq="AC", qual="II",
+                           cigar=[(1, "M"), (1, "I")], tags=[])]
+    layout = plan_layout(records)
+    assert layout.name_cap == 3
+    assert layout.cigar_cap == 2
+    assert layout.seq_cap == 6
+    for rec in records:
+        layout.encode(rec, HDR)  # everything fits
+
+
+def test_layout_merge():
+    a = BamxLayout(1, 5, 2, 0)
+    b = BamxLayout(3, 1, 9, 4)
+    assert a.merge(b) == BamxLayout(3, 5, 9, 4)
+
+
+def test_invalid_layouts_rejected():
+    with pytest.raises(BamxFormatError):
+        BamxLayout(-1, 0, 0, 0)
+    with pytest.raises(BamxFormatError):
+        BamxLayout(255, 0, 0, 0)
+
+
+def test_file_roundtrip(tmp_path, workload):
+    _, header, records = workload
+    path = tmp_path / "t.bamx"
+    layout = write_bamx(path, header, records)
+    header2, records2 = read_bamx(path)
+    assert records2 == records
+    assert header2 == header
+    with BamxReader(path) as reader:
+        assert reader.layout == layout
+
+
+def test_random_access(tmp_path, workload):
+    _, header, records = workload
+    path = tmp_path / "t.bamx"
+    write_bamx(path, header, records)
+    with BamxReader(path) as reader:
+        assert len(reader) == len(records)
+        assert reader[0] == records[0]
+        assert reader[len(records) - 1] == records[-1]
+        assert reader[-1] == records[-1]
+        assert reader[37] == records[37]
+        with pytest.raises(IndexError):
+            reader[len(records)]
+
+
+def test_read_range(tmp_path, workload):
+    _, header, records = workload
+    path = tmp_path / "t.bamx"
+    write_bamx(path, header, records)
+    with BamxReader(path) as reader:
+        assert list(reader.read_range(10, 20)) == records[10:20]
+        assert list(reader.read_range(0, 0)) == []
+        with pytest.raises(BamxFormatError):
+            list(reader.read_range(0, len(records) + 1))
+
+
+def test_writer_counts_and_indices(tmp_path):
+    path = tmp_path / "t.bamx"
+    layout = BamxLayout(8, 4, 8, 8)
+    with BamxWriter(path, HDR, layout) as writer:
+        assert writer.write(make_record()) == 0
+        assert writer.write(make_record()) == 1
+        assert writer.records_written == 2
+    with BamxReader(path) as reader:
+        assert len(reader) == 2
+
+
+def test_bad_magic(tmp_path):
+    path = tmp_path / "bad.bamx"
+    path.write_bytes(b"not a bamx file at all")
+    with pytest.raises(BamxFormatError):
+        BamxReader(path)
+
+
+def test_truncated_data_region_detected(tmp_path, workload):
+    _, header, records = workload
+    path = tmp_path / "t.bamx"
+    write_bamx(path, header, records)
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(BamxFormatError):
+        BamxReader(path)

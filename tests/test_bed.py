@@ -1,0 +1,66 @@
+"""Unit tests for the BED codec."""
+
+import io
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.bed import BedInterval, format_interval, iter_bed, \
+    parse_interval, read_bed, write_bed
+
+
+def test_format_columns():
+    iv = BedInterval("chr1", 10, 20, "feat", 42, "+")
+    assert format_interval(iv) == "chr1\t10\t20\tfeat\t42\t+"
+    assert format_interval(iv, columns=3) == "chr1\t10\t20"
+    assert format_interval(iv, columns=4) == "chr1\t10\t20\tfeat"
+
+
+def test_format_float_score_kept_when_fractional():
+    iv = BedInterval("c", 0, 1, ".", 1.5)
+    assert "1.5" in format_interval(iv)
+    iv2 = BedInterval("c", 0, 1, ".", 3.0)
+    assert "\t3\t" in format_interval(iv2)
+
+
+def test_format_invalid_column_count():
+    iv = BedInterval("c", 0, 1)
+    with pytest.raises(ValueError):
+        format_interval(iv, columns=7)
+
+
+def test_invalid_intervals_rejected():
+    with pytest.raises(FormatError):
+        BedInterval("c", -1, 5)
+    with pytest.raises(FormatError):
+        BedInterval("c", 10, 5)
+    with pytest.raises(FormatError):
+        BedInterval("c", 0, 5, strand="x")
+
+
+def test_parse_minimal_and_full():
+    assert parse_interval("chr1\t5\t10") == BedInterval("chr1", 5, 10)
+    assert parse_interval("chr1\t5\t10\tn\t7\t-") == \
+        BedInterval("chr1", 5, 10, "n", 7.0, "-")
+
+
+def test_parse_rejects_bad_lines():
+    with pytest.raises(FormatError):
+        parse_interval("chr1\t5")
+    with pytest.raises(FormatError):
+        parse_interval("chr1\tfive\tten")
+
+
+def test_iter_skips_track_and_comments():
+    text = ("# comment\ntrack name=x\nbrowser position chr1\n"
+            "chr1\t0\t5\n\nchr2\t3\t9\n")
+    intervals = list(iter_bed(io.StringIO(text)))
+    assert len(intervals) == 2
+
+
+def test_file_roundtrip(tmp_path):
+    intervals = [BedInterval("chr1", 0, 10, "a", 5, "+"),
+                 BedInterval("chr2", 3, 9, "b", 0, "-")]
+    path = tmp_path / "t.bed"
+    assert write_bed(path, intervals) == 2
+    assert read_bed(path) == intervals

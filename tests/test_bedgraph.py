@@ -1,0 +1,86 @@
+"""Unit and property tests for the BEDGRAPH codec and run compression."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats.bedgraph import BedGraphInterval, compress_runs, \
+    format_interval, iter_bedgraph, parse_interval, read_bedgraph, \
+    write_bedgraph
+
+
+def test_format_and_parse():
+    iv = BedGraphInterval("chr1", 0, 25, 7)
+    line = format_interval(iv)
+    assert line == "chr1\t0\t25\t7"
+    assert parse_interval(line) == iv
+
+
+def test_fractional_value_preserved():
+    iv = BedGraphInterval("c", 0, 1, 2.25)
+    assert parse_interval(format_interval(iv)) == iv
+
+
+def test_invalid_intervals_rejected():
+    with pytest.raises(FormatError):
+        BedGraphInterval("c", 5, 5, 1.0)  # empty span
+    with pytest.raises(FormatError):
+        BedGraphInterval("c", -1, 5, 1.0)
+
+
+def test_parse_rejects_wrong_columns():
+    with pytest.raises(FormatError):
+        parse_interval("chr1\t0\t25")
+    with pytest.raises(FormatError):
+        parse_interval("chr1\t0\t25\tseven")
+
+
+def test_iter_skips_track_lines():
+    text = "track type=bedGraph\nchr1\t0\t5\t1\nchr1\t5\t9\t0\n"
+    assert len(list(iter_bedgraph(io.StringIO(text)))) == 2
+
+
+def test_file_roundtrip(tmp_path):
+    intervals = [BedGraphInterval("chr1", 0, 25, 3),
+                 BedGraphInterval("chr1", 25, 100, 0)]
+    path = tmp_path / "t.bedgraph"
+    assert write_bedgraph(path, intervals) == 2
+    assert read_bedgraph(path) == intervals
+
+
+def test_compress_runs_collapses_equal_neighbours():
+    values = [1, 1, 1, 0, 0, 2, 1, 1]
+    runs = list(compress_runs("c", values))
+    assert runs == [
+        BedGraphInterval("c", 0, 3, 1),
+        BedGraphInterval("c", 3, 5, 0),
+        BedGraphInterval("c", 5, 6, 2),
+        BedGraphInterval("c", 6, 8, 1),
+    ]
+
+
+def test_compress_runs_with_offset():
+    runs = list(compress_runs("c", [5, 5], start=100))
+    assert runs == [BedGraphInterval("c", 100, 102, 5)]
+
+
+def test_compress_runs_empty():
+    assert list(compress_runs("c", [])) == []
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                max_size=200))
+def test_compress_runs_reconstructs_exactly(values):
+    runs = list(compress_runs("c", values))
+    rebuilt = []
+    for iv in runs:
+        rebuilt.extend([iv.value] * (iv.end - iv.start))
+    assert rebuilt == [float(v) for v in values]
+    # Runs tile [0, len) and neighbours always differ in value.
+    assert runs[0].start == 0 and runs[-1].end == len(values)
+    for a, b in zip(runs, runs[1:]):
+        assert a.end == b.start
+        assert a.value != b.value

@@ -1,0 +1,141 @@
+"""Unit and property tests for the BGZF block-compression layer."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BgzfError
+from repro.formats.bgzf import EOF_MARKER, MAX_BLOCK_DATA, BgzfReader, \
+    BgzfWriter, compress_block, compress_bytes, decompress_block, \
+    decompress_bytes, is_bgzf, make_virtual_offset, split_virtual_offset
+
+
+def test_block_roundtrip():
+    data = b"hello bgzf" * 100
+    assert decompress_block(compress_block(data)) == data
+
+
+def test_block_header_layout():
+    block = compress_block(b"x")
+    assert block[:4] == b"\x1f\x8b\x08\x04"   # gzip magic + FEXTRA
+    assert block[12:14] == b"BC"              # subfield id
+    bsize = int.from_bytes(block[16:18], "little")
+    assert bsize + 1 == len(block)
+
+
+def test_block_size_limit():
+    with pytest.raises(BgzfError):
+        compress_block(b"x" * (MAX_BLOCK_DATA + 1))
+
+
+def test_eof_marker_is_valid_empty_block():
+    assert decompress_block(EOF_MARKER) == b""
+
+
+def test_corrupt_crc_detected():
+    block = bytearray(compress_block(b"payload"))
+    block[-6] ^= 0xFF  # flip a CRC byte
+    with pytest.raises(BgzfError):
+        decompress_block(bytes(block))
+
+
+def test_bad_magic_detected():
+    with pytest.raises(BgzfError):
+        decompress_block(b"\x00" * 30)
+
+
+def test_stream_roundtrip_multi_block():
+    data = bytes(range(256)) * 1024  # 256 KiB -> several blocks
+    assert decompress_bytes(compress_bytes(data)) == data
+
+
+def test_writer_reader_file_roundtrip(tmp_path):
+    path = tmp_path / "t.bgzf"
+    payload = b"0123456789abcdef" * 20_000  # ~320 KiB
+    writer = BgzfWriter(path)
+    writer.write(payload)
+    writer.close()
+    raw = path.read_bytes()
+    assert raw.endswith(EOF_MARKER)
+    reader = BgzfReader(path)
+    assert reader.read(-1) == payload
+    assert reader.at_eof()
+    reader.close()
+
+
+def test_virtual_offsets_allow_seek(tmp_path):
+    path = tmp_path / "t.bgzf"
+    writer = BgzfWriter(path)
+    offsets = {}
+    for i in range(50):
+        chunk = f"chunk-{i:03d}:".encode() + bytes([i]) * 3000
+        offsets[i] = (writer.tell(), len(chunk))
+        writer.write(chunk)
+    writer.close()
+    reader = BgzfReader(path)
+    for i in (49, 0, 25, 7):
+        voffset, length = offsets[i]
+        reader.seek_virtual(voffset)
+        assert reader.read(10) == f"chunk-{i:03d}:".encode()
+    reader.close()
+
+
+def test_tell_matches_written_layout(tmp_path):
+    path = tmp_path / "t.bgzf"
+    writer = BgzfWriter(path)
+    assert writer.tell() == 0
+    writer.write(b"abc")
+    coffset, uoffset = split_virtual_offset(writer.tell())
+    assert (coffset, uoffset) == (0, 3)
+    writer.flush_block()
+    coffset, uoffset = split_virtual_offset(writer.tell())
+    assert coffset > 0 and uoffset == 0
+    writer.close()
+
+
+def test_virtual_offset_packing():
+    v = make_virtual_offset(123456, 789)
+    assert split_virtual_offset(v) == (123456, 789)
+    with pytest.raises(ValueError):
+        make_virtual_offset(0, 1 << 16)
+    with pytest.raises(ValueError):
+        make_virtual_offset(1 << 48, 0)
+
+
+def test_is_bgzf(tmp_path):
+    good = tmp_path / "good.bgzf"
+    writer = BgzfWriter(good)
+    writer.write(b"data")
+    writer.close()
+    assert is_bgzf(good)
+    bad = tmp_path / "bad.txt"
+    bad.write_bytes(b"plain text file")
+    assert not is_bgzf(bad)
+
+
+def test_truncated_stream_detected(tmp_path):
+    path = tmp_path / "t.bgzf"
+    writer = BgzfWriter(path)
+    writer.write(b"x" * 100_000)
+    writer.close()
+    truncated = path.read_bytes()[:-40]
+    path.write_bytes(truncated)
+    reader = BgzfReader(path)
+    with pytest.raises(BgzfError):
+        reader.read(-1)
+
+
+def test_read_exactly():
+    stream = io.BytesIO(compress_bytes(b"abcdef"))
+    reader = BgzfReader(stream)
+    assert reader.read_exactly(3) == b"abc"
+    with pytest.raises(BgzfError):
+        reader.read_exactly(10)
+
+
+@given(st.binary(min_size=0, max_size=300_000))
+@settings(max_examples=20, deadline=None)
+def test_bytes_roundtrip_property(data):
+    assert decompress_bytes(compress_bytes(data)) == data

@@ -1,0 +1,106 @@
+"""Tests for the multi-threaded BGZF writer."""
+
+import pytest
+
+from repro.errors import BgzfError
+from repro.formats.bgzf import BgzfReader, BgzfWriter, EOF_MARKER
+from repro.formats.bgzf_threads import ThreadedBgzfWriter, compress_file
+
+
+def sequential_bytes(payload, level=6):
+    import io
+    buf = io.BytesIO()
+    writer = BgzfWriter(buf, level=level)
+    writer.write(payload)
+    writer.close()
+    return buf.getvalue()
+
+
+def threaded_bytes(payload, threads, level=6, chunk=None):
+    import io
+    buf = io.BytesIO()
+    writer = ThreadedBgzfWriter(buf, threads=threads, level=level)
+    if chunk:
+        for off in range(0, len(payload), chunk):
+            writer.write(payload[off:off + chunk])
+    else:
+        writer.write(payload)
+    writer.close()
+    return buf.getvalue()
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_output_identical_to_sequential(threads):
+    payload = bytes(range(256)) * 2_000  # ~512 KiB, several blocks
+    assert threaded_bytes(payload, threads) == sequential_bytes(payload)
+
+
+def test_chunked_writes_identical():
+    payload = b"record data\n" * 30_000
+    assert threaded_bytes(payload, 3, chunk=4_097) == \
+        sequential_bytes(payload)
+
+
+def test_roundtrip_through_reader(tmp_path):
+    payload = b"x" * 300_000 + b"tail"
+    path = tmp_path / "t.bgzf"
+    writer = ThreadedBgzfWriter(path, threads=3)
+    writer.write(payload)
+    writer.close()
+    reader = BgzfReader(path)
+    assert reader.read(-1) == payload
+
+
+def test_empty_stream_is_just_eof(tmp_path):
+    path = tmp_path / "empty.bgzf"
+    ThreadedBgzfWriter(path, threads=2).close()
+    assert path.read_bytes() == EOF_MARKER
+
+
+def test_tell_matches_sequential_writer(tmp_path):
+    import io
+    payload_parts = [b"a" * 10, b"b" * 70_000, b"c" * 5]
+    seq_buf = io.BytesIO()
+    thr_buf = io.BytesIO()
+    seq = BgzfWriter(seq_buf)
+    thr = ThreadedBgzfWriter(thr_buf, threads=2)
+    for part in payload_parts:
+        seq.write(part)
+        thr.write(part)
+        assert thr.tell() == seq.tell()
+    seq.close()
+    thr.close()
+    assert thr_buf.getvalue() == seq_buf.getvalue()
+
+
+def test_close_idempotent(tmp_path):
+    writer = ThreadedBgzfWriter(tmp_path / "t.bgzf", threads=2)
+    writer.write(b"abc")
+    writer.close()
+    writer.close()
+
+
+def test_invalid_thread_count(tmp_path):
+    with pytest.raises(BgzfError):
+        ThreadedBgzfWriter(tmp_path / "t.bgzf", threads=0)
+
+
+def test_backpressure_bounded(tmp_path):
+    # A tiny pending window must still produce correct ordered output.
+    import io
+    payload = bytes(range(256)) * 1_500
+    buf = io.BytesIO()
+    writer = ThreadedBgzfWriter(buf, threads=4, max_pending=1)
+    writer.write(payload)
+    writer.close()
+    assert buf.getvalue() == sequential_bytes(payload)
+
+
+def test_compress_file(tmp_path):
+    src = tmp_path / "plain.txt"
+    src.write_bytes(b"line of text\n" * 50_000)
+    dst = tmp_path / "plain.txt.gz"
+    n = compress_file(src, dst, threads=3)
+    assert n == src.stat().st_size
+    reader = BgzfReader(dst)
+    assert reader.read(-1) == src.read_bytes()

@@ -1,0 +1,99 @@
+"""Unit and property tests for CIGAR parsing/encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SamFormatError
+from repro.formats.cigar import CIGAR_OPS, decode_ops, encode_ops, \
+    format_cigar, parse_cigar, query_length, reference_span, \
+    validate_cigar
+
+
+def test_parse_simple():
+    assert parse_cigar("90M") == [(90, "M")]
+    assert parse_cigar("5S85M") == [(5, "S"), (85, "M")]
+    assert parse_cigar("10M2I5M3D20M") == [
+        (10, "M"), (2, "I"), (5, "M"), (3, "D"), (20, "M")]
+
+
+def test_star_means_no_cigar():
+    assert parse_cigar("*") == []
+    assert format_cigar([]) == "*"
+
+
+@pytest.mark.parametrize("bad", ["", "M", "10", "10Z", "10M5", "M10",
+                                 "0M", "1.5M", "10m"])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(SamFormatError):
+        parse_cigar(bad)
+
+
+def test_query_and_reference_lengths():
+    ops = parse_cigar("5S10M2I3D4N20M1H")
+    # query: S + M + I + M = 5+10+2+20
+    assert query_length(ops) == 37
+    # reference: M + D + N + M = 10+3+4+20
+    assert reference_span(ops) == 37
+    ops2 = parse_cigar("10M5D10M")
+    assert query_length(ops2) == 20
+    assert reference_span(ops2) == 25
+
+
+def test_encode_decode_roundtrip_explicit():
+    ops = parse_cigar("5S10M2I3D4N20M6H")
+    assert decode_ops(encode_ops(ops)) == ops
+
+
+def test_encode_op_codes_match_bam_spec():
+    # M=0, I=1, D=2, N=3, S=4, H=5, P=6, ==7, X=8
+    for code, op in enumerate(CIGAR_OPS):
+        assert encode_ops([(7, op)]) == [(7 << 4) | code]
+
+
+def test_decode_rejects_bad_code():
+    with pytest.raises(SamFormatError):
+        decode_ops([(5 << 4) | 0xF])
+
+
+def test_validate_hard_clip_position():
+    validate_cigar(parse_cigar("5H10M5H"))
+    with pytest.raises(SamFormatError):
+        validate_cigar(parse_cigar("10M5H10M"))
+
+
+def test_validate_soft_clip_position():
+    validate_cigar(parse_cigar("5S10M5S"))
+    validate_cigar(parse_cigar("5H5S10M"))
+    with pytest.raises(SamFormatError):
+        validate_cigar(parse_cigar("10M5S10M"))
+
+
+def test_validate_seq_length_consistency():
+    ops = parse_cigar("10M")
+    validate_cigar(ops, seq_len=10)
+    with pytest.raises(SamFormatError):
+        validate_cigar(ops, seq_len=11)
+
+
+_cigar_ops = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=10_000),
+              st.sampled_from(list(CIGAR_OPS))),
+    min_size=1, max_size=12)
+
+
+@given(_cigar_ops)
+def test_text_roundtrip_property(ops):
+    assert parse_cigar(format_cigar(ops)) == ops
+
+
+@given(_cigar_ops)
+def test_binary_roundtrip_property(ops):
+    assert decode_ops(encode_ops(ops)) == ops
+
+
+@given(_cigar_ops)
+def test_lengths_are_nonnegative_and_bounded(ops):
+    total = sum(n for n, _ in ops)
+    assert 0 <= query_length(ops) <= total
+    assert 0 <= reference_span(ops) <= total

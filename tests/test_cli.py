@@ -1,0 +1,195 @@
+"""Tests for the repro command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def run(args):
+    return main(args)
+
+
+@pytest.fixture()
+def sim_sam(tmp_path):
+    path = tmp_path / "s.sam"
+    assert run(["simulate", str(path), "--templates", "60",
+                "--chromosomes", "chrA:20000", "--seed", "3"]) == 0
+    return path
+
+
+def test_simulate_writes_sam(sim_sam):
+    from repro.formats.sam import read_sam
+    header, records = read_sam(sim_sam)
+    assert len(records) == 120
+    assert header.has_reference("chrA")
+
+
+def test_simulate_bam(tmp_path):
+    path = tmp_path / "s.bam"
+    assert run(["simulate", str(path), "--templates", "20"]) == 0
+    from repro.formats.bam import read_bam
+    _, records = read_bam(path)
+    assert len(records) == 40
+
+
+def test_simulate_bad_chromosome_spec(tmp_path):
+    assert run(["simulate", str(tmp_path / "x.sam"),
+                "--chromosomes", "nolength"]) == 1
+
+
+def test_convert_sam(sim_sam, tmp_path, capsys):
+    out = tmp_path / "out"
+    assert run(["convert", str(sim_sam), "--target", "bed",
+                "--out-dir", str(out), "--nprocs", "3"]) == 0
+    captured = capsys.readouterr().out
+    assert "3 part files" in captured
+    assert len(list(out.glob("*.bed"))) == 3
+
+
+def test_convert_bam_preprocesses_first(tmp_path, capsys):
+    bam = tmp_path / "s.bam"
+    run(["simulate", str(bam), "--templates", "30"])
+    out = tmp_path / "out"
+    assert run(["convert", str(bam), "--target", "sam",
+                "--out-dir", str(out), "--nprocs", "2"]) == 0
+    assert "preprocessed" in capsys.readouterr().out
+
+
+def test_convert_unknown_source(tmp_path):
+    path = tmp_path / "x.vcf"
+    path.write_text("")
+    assert run(["convert", str(path), "--target", "bed",
+                "--out-dir", str(tmp_path / "o")]) == 1
+
+
+def test_preprocess_and_region(sim_sam, tmp_path, capsys):
+    work = tmp_path / "work"
+    assert run(["preprocess", str(sim_sam), "--work-dir", str(work),
+                "--nprocs", "2"]) == 0
+    bamx_files = sorted(work.glob("*.bamx"))
+    assert len(bamx_files) == 2
+    out = tmp_path / "region"
+    assert run(["region", str(bamx_files[0]), "--region", "chrA:1-10000",
+                "--target", "bed", "--out-dir", str(out),
+                "--nprocs", "2"]) == 0
+    assert "partial conversion" in capsys.readouterr().out
+
+
+def test_histogram_nlmeans_fdr_chain(sim_sam, tmp_path, capsys):
+    bedgraph = tmp_path / "h.bedgraph"
+    npy = tmp_path / "h.npy"
+    assert run(["histogram", str(sim_sam), "--output", str(bedgraph),
+                "--npy", str(npy)]) == 0
+    denoised = tmp_path / "d.npy"
+    assert run(["nlmeans", str(npy), "--output", str(denoised),
+                "-r", "5", "-l", "2", "--nprocs", "2"]) == 0
+    assert np.load(denoised).shape == np.load(npy).shape
+    assert run(["fdr", str(npy), "-t", "2.5", "--n-simulations", "10",
+                "--nprocs", "2"]) == 0
+    assert "FDR(p_t=2.5)" in capsys.readouterr().out
+
+
+def test_nlmeans_accepts_bedgraph_input(sim_sam, tmp_path):
+    bedgraph = tmp_path / "h.bedgraph"
+    run(["histogram", str(sim_sam), "--output", str(bedgraph)])
+    out = tmp_path / "d.npy"
+    assert run(["nlmeans", str(bedgraph), "--output", str(out),
+                "-r", "4", "-l", "2"]) == 0
+
+
+def test_formats_listing(capsys):
+    assert run(["formats"]) == 0
+    out = capsys.readouterr().out
+    assert "bamx" in out and "bedgraph" in out
+
+
+def test_sort_subcommand(tmp_path, capsys):
+    src = tmp_path / "u.sam"
+    run(["simulate", str(src), "--templates", "40", "--unsorted"])
+    out = tmp_path / "s.sam"
+    assert run(["sort", str(src), "--output", str(out),
+                "--chunk-records", "25"]) == 0
+    assert "sorted 80 records" in capsys.readouterr().out
+    from repro.formats.sam import read_sam
+    header, records = read_sam(out)
+    assert header.sort_order == "coordinate"
+    keys = [(header.ref_id(r.rname), r.pos) for r in records
+            if r.is_mapped]
+    assert keys == sorted(keys)
+
+
+def test_sort_parallel_subcommand(tmp_path, capsys):
+    src = tmp_path / "u.sam"
+    run(["simulate", str(src), "--templates", "30", "--unsorted"])
+    out = tmp_path / "s.sam"
+    assert run(["sort", str(src), "--output", str(out),
+                "--nprocs", "3", "--work-dir",
+                str(tmp_path / "w")]) == 0
+    assert "3 run-generation ranks" in capsys.readouterr().out
+
+
+def test_flagstat_subcommand(sim_sam, capsys):
+    assert run(["flagstat", str(sim_sam), "--nprocs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "in total" in out and "properly paired" in out
+
+
+def test_validate_subcommand_clean(sim_sam, capsys):
+    assert run(["validate", str(sim_sam)]) == 0
+    assert "0 errors" in capsys.readouterr().out
+
+
+def test_validate_subcommand_dirty(tmp_path, capsys):
+    path = tmp_path / "bad.sam"
+    path.write_text("@SQ\tSN:chr1\tLN:100\n"
+                    "r\t0\tchrX\t10\t60\t4M\t*\t0\t0\tACGT\tIIII\n")
+    assert run(["validate", str(path)]) == 1
+    assert "UNKNOWN_REFERENCE" in capsys.readouterr().out
+
+
+def test_convert_with_filter(sim_sam, tmp_path, capsys):
+    out = tmp_path / "filtered"
+    assert run(["convert", str(sim_sam), "--target", "bed",
+                "--out-dir", str(out), "--filter", "q=60"]) == 0
+    # Only MAPQ-60 records survive; all emitted BED scores must be 60.
+    for bed in out.glob("*.bed"):
+        for line in open(bed):
+            assert line.split("\t")[4] == "60"
+
+
+def test_region_overlap_mode(sim_sam, tmp_path, capsys):
+    work = tmp_path / "w"
+    run(["preprocess", str(sim_sam), "--work-dir", str(work)])
+    (bamx,) = sorted(work.glob("*.bamx"))
+    out = tmp_path / "o"
+    assert run(["region", str(bamx), "--region", "chrA:1-5000",
+                "--target", "bed", "--out-dir", str(out),
+                "--mode", "overlap"]) == 0
+    assert "partial conversion" in capsys.readouterr().out
+
+
+def test_peaks_subcommand(sim_sam, tmp_path, capsys):
+    npy = tmp_path / "h.npy"
+    run(["histogram", str(sim_sam), "--output",
+         str(tmp_path / "h.bedgraph"), "--npy", str(npy)])
+    capsys.readouterr()
+    bed = tmp_path / "peaks.bed"
+    assert run(["peaks", str(npy), "--n-simulations", "15",
+                "--target-fdr", "0.25", "--nprocs", "2",
+                "--bed", str(bed), "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "enriched regions" in out
+    assert "selected p_t=" in out
+    from repro.formats.bed import read_bed
+    read_bed(bed)  # parses cleanly
+
+
+def test_preprocess_compress_flag(tmp_path, capsys):
+    bam = tmp_path / "s.bam"
+    run(["simulate", str(bam), "--templates", "20"])
+    work = tmp_path / "w"
+    assert run(["preprocess", str(bam), "--work-dir", str(work),
+                "--compress"]) == 0
+    assert list(work.glob("*.bamz"))
+    assert list(work.glob("*.bamz.bzi"))

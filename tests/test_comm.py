@@ -1,0 +1,162 @@
+"""Unit tests for the communicator abstraction (serial and thread)."""
+
+import threading
+
+import pytest
+
+from repro.errors import RuntimeLayerError
+from repro.runtime.comm import SerialComm, ThreadComm
+
+
+def run_world(size, fn):
+    """Run fn(comm) on `size` ThreadComm ranks; return results by rank."""
+    comms = ThreadComm.create_world(size)
+    results = [None] * size
+    errors = []
+
+    def runner(rank):
+        try:
+            results[rank] = fn(comms[rank])
+        except Exception as exc:  # noqa: BLE001
+            errors.append((rank, exc))
+
+    threads = [threading.Thread(target=runner, args=(r,))
+               for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0][1]
+    return results
+
+
+def test_serial_comm_identity_collectives():
+    comm = SerialComm()
+    assert comm.rank == 0 and comm.size == 1
+    assert comm.bcast("x") == "x"
+    assert comm.scatter(["only"]) == "only"
+    assert comm.gather(42) == [42]
+    assert comm.allgather(1) == [1]
+    assert comm.allreduce(5, lambda a, b: a + b) == 5
+    comm.barrier()
+
+
+def test_serial_comm_rejects_point_to_point():
+    comm = SerialComm()
+    with pytest.raises(RuntimeLayerError):
+        comm.send(1, 0)
+    with pytest.raises(RuntimeLayerError):
+        comm.recv(0)
+
+
+def test_send_recv_pairs():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send({"payload": 1}, dest=1)
+            return comm.recv(source=1)
+        comm.send("pong", dest=0)
+        return comm.recv(source=0)
+    results = run_world(2, fn)
+    assert results[0] == "pong"
+    assert results[1] == {"payload": 1}
+
+
+def test_bcast():
+    def fn(comm):
+        value = [1, 2, 3] if comm.rank == 0 else None
+        return comm.bcast(value, root=0)
+    assert run_world(4, fn) == [[1, 2, 3]] * 4
+
+
+def test_bcast_nonzero_root():
+    def fn(comm):
+        value = "from2" if comm.rank == 2 else None
+        return comm.bcast(value, root=2)
+    assert run_world(4, fn) == ["from2"] * 4
+
+
+def test_scatter_gather():
+    def fn(comm):
+        values = [i * i for i in range(comm.size)] if comm.rank == 0 \
+            else None
+        mine = comm.scatter(values, root=0)
+        return comm.gather(mine + 1, root=0)
+    results = run_world(4, fn)
+    assert results[0] == [1, 2, 5, 10]
+    assert results[1] is None
+
+
+def test_scatter_requires_one_value_per_rank():
+    def fn(comm):
+        if comm.rank == 0:
+            with pytest.raises(RuntimeLayerError):
+                comm.scatter([1, 2], root=0)
+        return True
+    # Only exercise rank 0's validation path (single rank world).
+    comm = SerialComm()
+    with pytest.raises(RuntimeLayerError):
+        comm.scatter([1, 2])
+
+
+def test_allgather_and_allreduce():
+    def fn(comm):
+        return (comm.allgather(comm.rank),
+                comm.allreduce(comm.rank, lambda a, b: a + b))
+    results = run_world(3, fn)
+    for gathered, reduced in results:
+        assert gathered == [0, 1, 2]
+        assert reduced == 3
+
+
+def test_reduce_with_custom_op():
+    def fn(comm):
+        return comm.reduce(comm.rank + 1, lambda a, b: a * b, root=0)
+    results = run_world(4, fn)
+    assert results[0] == 24
+    assert results[1:] == [None, None, None]
+
+
+def test_barrier_orders_phases():
+    log = []
+    lock = threading.Lock()
+
+    def fn(comm):
+        with lock:
+            log.append(("before", comm.rank))
+        comm.barrier()
+        with lock:
+            log.append(("after", comm.rank))
+    run_world(3, fn)
+    phases = [phase for phase, _ in log]
+    assert phases.index("after") >= 3  # every 'before' precedes any 'after'
+
+
+def test_tag_mismatch_detected():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("x", 1, tag=7)
+            return None
+        with pytest.raises(RuntimeLayerError):
+            comm.recv(0, tag=8)
+        return True
+    results = run_world(2, fn)
+    assert results[1] is True
+
+
+def test_self_send_rejected():
+    comms = ThreadComm.create_world(2)
+    with pytest.raises(RuntimeLayerError):
+        comms[0].send(1, 0)
+    with pytest.raises(RuntimeLayerError):
+        comms[0].recv(0)
+
+
+def test_invalid_ranks_rejected():
+    comms = ThreadComm.create_world(2)
+    with pytest.raises(RuntimeLayerError):
+        comms[0].send(1, 5)
+    with pytest.raises(RuntimeLayerError):
+        comms[0].recv(-1)
+    with pytest.raises(RuntimeLayerError):
+        comms[0].bcast(1, root=9)

@@ -1,0 +1,121 @@
+"""Tests for the AlignmentDataset facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import AlignmentDataset
+from repro.errors import ConversionError
+
+
+@pytest.fixture(scope="module")
+def sam_ds(sam_file):
+    return AlignmentDataset.open(sam_file)
+
+
+@pytest.fixture(scope="module")
+def bam_ds(bam_file):
+    return AlignmentDataset.open(bam_file)
+
+
+def test_open_dispatches_on_extension(sam_file, bam_file):
+    assert AlignmentDataset.open(sam_file).kind == "sam"
+    assert AlignmentDataset.open(bam_file).kind == "bam"
+    with pytest.raises(ConversionError):
+        AlignmentDataset.open("x.vcf")
+
+
+def test_simulate_constructor(tmp_path):
+    ds = AlignmentDataset.simulate(tmp_path / "s.sam", 25, seed=1)
+    assert ds.count() == 50
+    ds2 = AlignmentDataset.simulate(tmp_path / "s.bam", 25, seed=1)
+    assert ds2.kind == "bam"
+    assert ds2.count() == 50
+
+
+def test_header_and_records(sam_ds, bam_ds, workload):
+    _, header, records = workload
+    assert sam_ds.header == header
+    assert list(sam_ds.records()) == records
+    assert list(bam_ds.records()) == records
+
+
+def test_flagstat_and_validate(sam_ds, bam_ds):
+    assert sam_ds.flagstat() == bam_ds.flagstat()
+    assert sam_ds.validate().ok
+    assert bam_ds.validate().ok
+
+
+def test_histogram(sam_ds, workload):
+    from repro.stats import histogram_from_records
+    _, header, records = workload
+    direct = histogram_from_records(records, header, 25)
+    via_facade = sam_ds.histogram(bin_size=25)
+    via_parallel = sam_ds.histogram(bin_size=25, nprocs=3)
+    for chrom in direct:
+        assert np.array_equal(via_facade[chrom], direct[chrom])
+        assert np.array_equal(via_parallel[chrom], direct[chrom])
+
+
+def test_sorted(tmp_path, unsorted_workload):
+    from repro.formats.sam import write_sam
+    _, header, records = unsorted_workload
+    src = tmp_path / "u.sam"
+    write_sam(src, header, records)
+    ds = AlignmentDataset.open(src).sorted(tmp_path / "s.sam")
+    assert ds.header.sort_order == "coordinate"
+    keys = [(ds.header.ref_id(r.rname), r.pos) for r in ds.records()
+            if r.is_mapped]
+    assert keys == sorted(keys)
+
+
+def test_convert_sam_direct(sam_ds, tmp_path, workload):
+    _, _, records = workload
+    result = sam_ds.convert("bed", tmp_path / "o", nprocs=3)
+    assert result.records == len(records)
+
+
+def test_convert_bam_preprocesses(bam_ds, tmp_path, workload):
+    _, _, records = workload
+    result = bam_ds.convert("bed", tmp_path / "o", nprocs=2,
+                            work_dir=tmp_path / "w")
+    assert result.records == len(records)
+
+
+def test_store_handle_lifecycle(bam_ds, tmp_path, workload):
+    _, header, records = workload
+    store = bam_ds.preprocess(tmp_path / "w")
+    assert len(store) == len(records)
+    result = store.convert("sam", tmp_path / "o", nprocs=2)
+    assert result.records == len(records)
+    region_result = store.convert_region("chr1:1-30000", "bed",
+                                         tmp_path / "r", nprocs=2)
+    expected = sum(1 for r in records
+                   if r.rname == "chr1" and 0 <= r.pos < 30_000)
+    assert region_result.records == expected
+
+
+def test_store_fetch_modes(bam_ds, tmp_path, workload):
+    _, header, records = workload
+    store = bam_ds.preprocess(tmp_path / "w")
+    start_hits = store.fetch("chr1:5001-6000", mode="start")
+    overlap_hits = store.fetch("chr1:5001-6000", mode="overlap")
+    assert len(overlap_hits) >= len(start_hits)
+    for rec in start_hits:
+        assert 5_000 <= rec.pos < 6_000
+    for rec in overlap_hits:
+        assert rec.pos < 6_000 and rec.end > 5_000
+    with pytest.raises(ConversionError):
+        store.fetch("chr1:1-10", mode="middle")
+
+
+def test_preprocess_compressed(bam_ds, tmp_path, workload):
+    _, _, records = workload
+    store = bam_ds.preprocess(tmp_path / "w", compress=True)
+    assert store.store_path.endswith(".bamz")
+    assert len(store) == len(records)
+
+
+def test_sam_preprocess_returns_first_part(sam_ds, tmp_path):
+    store = sam_ds.preprocess(tmp_path / "w", nprocs=2)
+    assert store.store_path.endswith(".bamx")
+    assert len(store) > 0

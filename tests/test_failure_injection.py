@@ -1,0 +1,200 @@
+"""Failure injection: corrupt and truncated inputs must fail loudly
+with library exceptions, never silently return wrong data or crash with
+unrelated errors."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BamFormatError, BamxFormatError, BgzfError, \
+    IndexError_, ReproError, SamFormatError
+from repro.formats.bam import BamReader, write_bam
+from repro.formats.bamx import BamxReader, write_bamx
+from repro.formats.bamz import BamzReader, write_bamz
+from repro.formats.bgzf import BgzfReader, BgzfWriter, compress_bytes
+from repro.formats.sam import parse_alignment
+
+
+# --- SAM text ----------------------------------------------------------
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=150)
+def test_sam_parser_never_crashes_unexpectedly(line):
+    """Arbitrary text either parses or raises SamFormatError."""
+    try:
+        parse_alignment(line)
+    except SamFormatError:
+        pass
+
+
+@given(st.binary(max_size=80))
+@settings(max_examples=80)
+def test_sam_parser_on_binary_garbage(data):
+    try:
+        parse_alignment(data.decode("latin-1"))
+    except SamFormatError:
+        pass
+
+
+# --- BGZF --------------------------------------------------------------
+
+
+def test_bgzf_bit_flip_detected(tmp_path):
+    path = tmp_path / "t.bgzf"
+    writer = BgzfWriter(path)
+    writer.write(b"payload " * 5_000)
+    writer.close()
+    blob = bytearray(path.read_bytes())
+    # Flip one byte inside the compressed body of the first block.
+    blob[30] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(BgzfError):
+        BgzfReader(path).read(-1)
+
+
+def test_bgzf_truncated_header(tmp_path):
+    path = tmp_path / "t.bgzf"
+    path.write_bytes(compress_bytes(b"data")[:10])
+    with pytest.raises(BgzfError):
+        BgzfReader(path)
+
+
+def test_bgzf_seek_past_block_payload(tmp_path):
+    path = tmp_path / "t.bgzf"
+    writer = BgzfWriter(path)
+    writer.write(b"abc")
+    writer.close()
+    reader = BgzfReader(path)
+    with pytest.raises(BgzfError):
+        reader.seek_virtual(5_000)  # uoffset beyond the 3-byte payload
+
+
+# --- BAM ---------------------------------------------------------------
+
+
+@pytest.fixture()
+def small_bam(tmp_path, workload):
+    _, header, records = workload
+    path = tmp_path / "t.bam"
+    write_bam(path, header, records[:50])
+    return path
+
+
+def test_bam_truncated_mid_record(small_bam):
+    blob = small_bam.read_bytes()
+    # Cut the BGZF stream partway: drop the last 60% of bytes and the
+    # EOF marker, then re-terminate at a non-block boundary.
+    small_bam.write_bytes(blob[: int(len(blob) * 0.4)])
+    with pytest.raises((BamFormatError, BgzfError)):
+        with BamReader(small_bam) as reader:
+            list(reader)
+
+
+def test_bam_garbage_after_header(tmp_path, workload):
+    import struct
+
+    from repro.formats.bgzf import BgzfWriter as W
+    _, header, _ = workload
+    path = tmp_path / "junk.bam"
+    writer = W(path)
+    text = header.to_text().encode()
+    blob = bytearray(b"BAM\x01")
+    blob += struct.pack("<i", len(text)) + text
+    blob += struct.pack("<i", len(header.references))
+    for ref in header.references:
+        name = ref.name.encode() + b"\x00"
+        blob += struct.pack("<i", len(name)) + name
+        blob += struct.pack("<i", ref.length)
+    # One plausible-length record frame filled with garbage.
+    blob += struct.pack("<i", 64) + os.urandom(64)
+    writer.write(bytes(blob))
+    writer.close()
+    with pytest.raises((BamFormatError, SamFormatError, ReproError,
+                        Exception)):
+        with BamReader(path) as reader:
+            list(reader)
+
+
+# --- BAMX / BAMZ ---------------------------------------------------------
+
+
+def test_bamx_header_count_beyond_file(tmp_path, workload):
+    _, header, records = workload
+    path = tmp_path / "t.bamx"
+    write_bamx(path, header, records[:20])
+    blob = bytearray(path.read_bytes())
+    # Inflate the record count field (u64 at offset 5 + 4 + 16).
+    import struct
+    struct.pack_into("<Q", blob, 5 + 4 + 16, 10_000)
+    path.write_bytes(bytes(blob))
+    with pytest.raises(BamxFormatError):
+        BamxReader(path)
+
+
+def test_bamz_truncated_stream(tmp_path, workload):
+    _, header, records = workload
+    path = tmp_path / "t.bamz"
+    write_bamz(path, header, records[:30])
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises((BgzfError, BamxFormatError)):
+        with BamzReader(path) as reader:
+            list(reader)
+
+
+def test_bamz_index_record_count_mismatch(tmp_path, workload):
+    import struct
+
+    from repro.formats.bamz import index_path_for
+    _, header, records = workload
+    path = tmp_path / "t.bamz"
+    write_bamz(path, header, records[:10])
+    index_file = index_path_for(path)
+    blob = bytearray(open(index_file, "rb").read())
+    struct.pack_into("<Q", blob, 4, 99)  # claim 99 entries
+    open(index_file, "wb").write(bytes(blob))
+    with pytest.raises(IndexError_):
+        BamzReader(path)
+
+
+# --- BAIX ---------------------------------------------------------------
+
+
+def test_baix_truncated(tmp_path, workload):
+    from repro.formats.baix import BaixIndex
+    _, header, records = workload
+    idx = BaixIndex.build(enumerate(records), header)
+    path = tmp_path / "t.baix"
+    idx.save(path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-16])
+    with pytest.raises(IndexError_):
+        BaixIndex.load(path)
+
+
+# --- converters on corrupt input -----------------------------------------
+
+
+def test_sam_converter_propagates_parse_errors(tmp_path):
+    path = tmp_path / "broken.sam"
+    path.write_text("@HD\tVN:1.4\n@SQ\tSN:chr1\tLN:100\n"
+                    "good\t0\tchr1\t1\t60\t4M\t*\t0\t0\tACGT\tIIII\n"
+                    "broken line without enough columns\n")
+    from repro.core import SamConverter
+    from repro.runtime.spmd import SpmdFailure
+    with pytest.raises((SamFormatError, SpmdFailure)):
+        SamConverter().convert(path, "bed", tmp_path / "o", nprocs=2)
+
+
+def test_empty_sam_converts_to_empty_outputs(tmp_path):
+    path = tmp_path / "empty.sam"
+    path.write_text("@HD\tVN:1.4\n@SQ\tSN:chr1\tLN:100\n")
+    from repro.core import SamConverter
+    result = SamConverter().convert(path, "bed", tmp_path / "o",
+                                    nprocs=3)
+    assert result.records == 0
+    for out in result.outputs:
+        assert os.path.getsize(out) == 0

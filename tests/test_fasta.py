@@ -1,0 +1,120 @@
+"""Unit tests for FASTA reading/writing and the .fai index."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats.fasta import FastaIndex, FastaRecord, format_record, \
+    iter_fasta, read_fasta, write_fasta
+
+
+def test_format_wraps_lines():
+    rec = FastaRecord("seq1", "A" * 25)
+    text = format_record(rec, width=10)
+    assert text == ">seq1\n" + "A" * 10 + "\n" + "A" * 10 + "\n" \
+        + "A" * 5 + "\n"
+
+
+def test_format_invalid_width():
+    with pytest.raises(ValueError):
+        format_record(FastaRecord("s", "A"), width=0)
+
+
+def test_parse_multi_record():
+    text = ">a desc one\nACGT\nACG\n>b\nTTTT\n"
+    records = list(iter_fasta(io.StringIO(text)))
+    assert records[0].name == "a"
+    assert records[0].description == "a desc one"
+    assert records[0].sequence == "ACGTACG"
+    assert records[1] == FastaRecord("b", "TTTT")
+
+
+def test_parse_skips_semicolon_comments():
+    text = ">a\n;old style comment\nACGT\n"
+    (rec,) = iter_fasta(io.StringIO(text))
+    assert rec.sequence == "ACGT"
+
+
+def test_parse_rejects_data_before_header():
+    with pytest.raises(FormatError):
+        list(iter_fasta(io.StringIO("ACGT\n>a\nACGT\n")))
+
+
+def test_parse_rejects_empty_name():
+    with pytest.raises(FormatError):
+        list(iter_fasta(io.StringIO(">\nACGT\n")))
+
+
+def test_file_roundtrip(tmp_path):
+    records = [FastaRecord("chr1", "ACGT" * 30),
+               FastaRecord("chr2", "TTGGCC")]
+    path = tmp_path / "t.fasta"
+    assert write_fasta(path, records, width=50) == 2
+    assert read_fasta(path) == records
+
+
+def test_index_build_and_fetch(tmp_path):
+    seq1 = "ACGTACGTACGTACGTACGTAC"  # 22 bases
+    seq2 = "TTTTGGGGCCCCAAAA"        # 16 bases
+    path = tmp_path / "ref.fasta"
+    write_fasta(path, [FastaRecord("c1", seq1), FastaRecord("c2", seq2)],
+                width=10)
+    idx = FastaIndex.build(path)
+    assert idx.length("c1") == 22
+    assert idx.length("c2") == 16
+    assert idx.fetch(path, "c1", 0, 22) == seq1
+    assert idx.fetch(path, "c1", 5, 15) == seq1[5:15]
+    assert idx.fetch(path, "c2", 9, 16) == seq2[9:16]
+    assert idx.fetch(path, "c2", 3, 3) == ""
+
+
+def test_index_fetch_bounds(tmp_path):
+    path = tmp_path / "ref.fasta"
+    write_fasta(path, [FastaRecord("c1", "ACGTACGT")], width=4)
+    idx = FastaIndex.build(path)
+    with pytest.raises(FormatError):
+        idx.fetch(path, "c1", 0, 9)
+    with pytest.raises(FormatError):
+        idx.fetch(path, "nope", 0, 1)
+
+
+def test_index_save_load(tmp_path):
+    path = tmp_path / "ref.fasta"
+    write_fasta(path, [FastaRecord("c1", "ACGT" * 7)], width=9)
+    idx = FastaIndex.build(path)
+    fai = tmp_path / "ref.fasta.fai"
+    idx.save(fai)
+    loaded = FastaIndex.load(fai)
+    assert loaded.fetch(path, "c1", 3, 20) == idx.fetch(path, "c1", 3, 20)
+
+
+def test_index_rejects_ragged_wrapping(tmp_path):
+    path = tmp_path / "ragged.fasta"
+    path.write_text(">a\nACGTACGT\nAC\nACGTACGT\n")
+    with pytest.raises(FormatError):
+        FastaIndex.build(path)
+
+
+@given(st.text(alphabet="ACGTN", min_size=1, max_size=500),
+       st.integers(min_value=1, max_value=80))
+def test_roundtrip_any_wrap_width(seq, width):
+    text = format_record(FastaRecord("x", seq), width)
+    (rec,) = iter_fasta(io.StringIO(text))
+    assert rec.sequence == seq
+
+
+@given(st.text(alphabet="ACGT", min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=30),
+       st.data())
+def test_index_fetch_matches_slice(seq, width, data):
+    import tempfile
+    start = data.draw(st.integers(0, len(seq)))
+    end = data.draw(st.integers(start, len(seq)))
+    with tempfile.TemporaryDirectory() as d:
+        path = f"{d}/r.fasta"
+        write_fasta(path, [FastaRecord("x", seq)], width)
+        idx = FastaIndex.build(path)
+        assert idx.fetch(path, "x", start, end) == seq[start:end]

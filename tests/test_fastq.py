@@ -1,0 +1,49 @@
+"""Unit tests for the FASTQ codec."""
+
+import io
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.fastq import FastqRecord, format_record, iter_fastq, \
+    read_fastq, write_fastq
+
+
+def test_format_four_lines():
+    rec = FastqRecord("r1/1", "ACGT", "IIII")
+    assert format_record(rec) == "@r1/1\nACGT\n+\nIIII\n"
+
+
+def test_length_mismatch_rejected_at_construction():
+    with pytest.raises(FormatError):
+        FastqRecord("r", "ACGT", "III")
+
+
+def test_parse_stream():
+    text = "@a\nACGT\n+\nIIII\n@b\nTT\n+anything\nAB\n"
+    records = list(iter_fastq(io.StringIO(text)))
+    assert records == [FastqRecord("a", "ACGT", "IIII"),
+                       FastqRecord("b", "TT", "AB")]
+
+
+def test_parse_skips_blank_lines_between_records():
+    text = "@a\nACGT\n+\nIIII\n\n@b\nTT\n+\nAB\n"
+    assert len(list(iter_fastq(io.StringIO(text)))) == 2
+
+
+def test_parse_rejects_missing_at():
+    with pytest.raises(FormatError):
+        list(iter_fastq(io.StringIO("a\nACGT\n+\nIIII\n")))
+
+
+def test_parse_rejects_missing_plus():
+    with pytest.raises(FormatError):
+        list(iter_fastq(io.StringIO("@a\nACGT\nIIII\nIIII\n")))
+
+
+def test_file_roundtrip(tmp_path):
+    records = [FastqRecord(f"read{i}", "ACGT" * (i + 1), "IIII" * (i + 1))
+               for i in range(5)]
+    path = tmp_path / "t.fastq"
+    assert write_fastq(path, records) == 5
+    assert read_fastq(path) == records

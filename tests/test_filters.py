@@ -1,0 +1,126 @@
+"""Tests for record filters and filtered conversion."""
+
+import pytest
+
+from repro.core.filters import ACCEPT_ALL, RecordFilter, \
+    parse_filter_expr
+from repro.errors import ConversionError
+from repro.formats.sam import parse_alignment
+
+
+def rec(flag=0, mapq=60):
+    rname = "*" if flag & 0x4 else "chr1"
+    pos = "0" if flag & 0x4 else "100"
+    cigar = "*" if flag & 0x4 else "4M"
+    return parse_alignment(
+        f"q\t{flag}\t{rname}\t{pos}\t{mapq}\t{cigar}\t*\t0\t0\tACGT\tIIII")
+
+
+def test_accept_all_is_noop():
+    assert ACCEPT_ALL.is_noop
+    assert ACCEPT_ALL.matches(rec())
+    assert ACCEPT_ALL.matches(rec(flag=0x4, mapq=0))
+
+
+def test_require_flags():
+    f = RecordFilter(require_flags=0x40)
+    assert f.matches(rec(flag=0x1 | 0x40))
+    assert not f.matches(rec(flag=0x1 | 0x80))
+
+
+def test_exclude_flags():
+    f = RecordFilter(exclude_flags=0x400)
+    assert f.matches(rec())
+    assert not f.matches(rec(flag=0x400))
+
+
+def test_min_mapq():
+    f = RecordFilter(min_mapq=30)
+    assert f.matches(rec(mapq=30))
+    assert not f.matches(rec(mapq=29))
+
+
+def test_primary_only():
+    f = RecordFilter(primary_only=True)
+    assert f.matches(rec())
+    assert not f.matches(rec(flag=0x100))
+    assert not f.matches(rec(flag=0x800))
+
+
+def test_mapped_only():
+    f = RecordFilter(mapped_only=True)
+    assert f.matches(rec())
+    assert not f.matches(rec(flag=0x4, mapq=0))
+
+
+def test_apply_lazy():
+    records = [rec(), rec(flag=0x400), rec()]
+    f = RecordFilter(exclude_flags=0x400)
+    assert len(list(f.apply(records))) == 2
+    assert len(list(ACCEPT_ALL.apply(records))) == 3
+
+
+def test_validation():
+    with pytest.raises(ConversionError):
+        RecordFilter(require_flags=-1)
+    with pytest.raises(ConversionError):
+        RecordFilter(exclude_flags=0x1000)
+    with pytest.raises(ConversionError):
+        RecordFilter(min_mapq=300)
+    with pytest.raises(ConversionError):
+        RecordFilter(require_flags=0x40, exclude_flags=0x40)
+
+
+def test_parse_filter_expr():
+    f = parse_filter_expr("q=30,F=0x400,primary")
+    assert f.min_mapq == 30
+    assert f.exclude_flags == 0x400
+    assert f.primary_only and not f.mapped_only
+    g = parse_filter_expr("f=99,mapped")
+    assert g.require_flags == 99 and g.mapped_only
+    assert parse_filter_expr("").is_noop
+
+
+def test_parse_filter_expr_rejects_unknown():
+    with pytest.raises(ConversionError):
+        parse_filter_expr("z=1")
+
+
+def test_filtered_sam_conversion(sam_file, workload, tmp_path):
+    from repro.core import SamConverter
+    _, _, records = workload
+    f = RecordFilter(min_mapq=40, mapped_only=True)
+    result = SamConverter().convert(sam_file, "bed", tmp_path / "o",
+                                    nprocs=3, record_filter=f)
+    expected_seen = sum(1 for r in records if f.matches(r))
+    assert result.records == expected_seen
+    # BED additionally skips nothing here because the filter already
+    # demands mapped records.
+    assert result.emitted == expected_seen
+
+
+def test_filtered_bamx_conversion(bam_file, workload, tmp_path):
+    from repro.core import BamConverter
+    _, _, records = workload
+    converter = BamConverter()
+    bamx, baix, _ = converter.preprocess(bam_file, tmp_path / "w")
+    f = RecordFilter(exclude_flags=0x10)  # forward-strand reads only
+    result = converter.convert(bamx, "sam", tmp_path / "o", nprocs=2,
+                               record_filter=f)
+    expected = sum(1 for r in records if not r.flag & 0x10)
+    assert result.records == expected
+
+
+def test_filtered_region_conversion(bam_file, workload, tmp_path):
+    from repro.core import BamConverter
+    _, _, records = workload
+    converter = BamConverter()
+    bamx, baix, _ = converter.preprocess(bam_file, tmp_path / "w")
+    f = RecordFilter(min_mapq=50)
+    result = converter.convert_region(bamx, baix, "chr1:1-30000", "sam",
+                                      tmp_path / "o", nprocs=2,
+                                      record_filter=f)
+    expected = sum(1 for r in records
+                   if r.rname == "chr1" and 0 <= r.pos < 30_000
+                   and r.mapq >= 50)
+    assert result.records == expected

@@ -1,0 +1,66 @@
+"""Unit tests for the SAM FLAG bitfield helpers."""
+
+import pytest
+
+from repro.formats.flags import Flag, describe, is_mapped, is_paired, \
+    is_primary, is_read1, is_read2, is_reverse, is_unmapped, mate_number, \
+    validate_flag
+
+
+def test_flag_values_match_sam_spec():
+    assert Flag.PAIRED == 0x1
+    assert Flag.PROPER_PAIR == 0x2
+    assert Flag.UNMAPPED == 0x4
+    assert Flag.MATE_UNMAPPED == 0x8
+    assert Flag.REVERSE == 0x10
+    assert Flag.MATE_REVERSE == 0x20
+    assert Flag.READ1 == 0x40
+    assert Flag.READ2 == 0x80
+    assert Flag.SECONDARY == 0x100
+    assert Flag.QC_FAIL == 0x200
+    assert Flag.DUPLICATE == 0x400
+    assert Flag.SUPPLEMENTARY == 0x800
+
+
+def test_predicates_on_typical_proper_pair_flags():
+    # 99 = paired, proper, mate reverse, read1; 147 = its mate.
+    assert is_paired(99) and is_mapped(99) and not is_reverse(99)
+    assert is_read1(99) and not is_read2(99)
+    assert is_paired(147) and is_reverse(147) and is_read2(147)
+
+
+def test_unmapped_and_mapped_are_complements():
+    for flag in (0, 4, 99, 147, 77, 141):
+        assert is_unmapped(flag) != is_mapped(flag)
+
+
+def test_primary_excludes_secondary_and_supplementary():
+    assert is_primary(99)
+    assert not is_primary(99 | int(Flag.SECONDARY))
+    assert not is_primary(99 | int(Flag.SUPPLEMENTARY))
+
+
+def test_mate_number():
+    assert mate_number(int(Flag.PAIRED | Flag.READ1)) == 1
+    assert mate_number(int(Flag.PAIRED | Flag.READ2)) == 2
+    assert mate_number(0) == 0
+    # Both set (linear mid-segment) -> 0 by convention.
+    assert mate_number(int(Flag.READ1 | Flag.READ2)) == 0
+
+
+def test_validate_flag_accepts_defined_range():
+    assert validate_flag(0) == 0
+    assert validate_flag(0xFFF) == 0xFFF
+
+
+@pytest.mark.parametrize("bad", [-1, 0x1000, 1 << 20])
+def test_validate_flag_rejects_out_of_range(bad):
+    with pytest.raises(ValueError):
+        validate_flag(bad)
+
+
+def test_describe_lists_set_bits():
+    names = describe(int(Flag.PAIRED | Flag.REVERSE))
+    assert "PAIRED" in names and "REVERSE" in names
+    assert "UNMAPPED" not in names
+    assert describe(0) == []

@@ -1,0 +1,93 @@
+"""Tests for the flagstat tool."""
+
+import pytest
+
+from repro.formats.sam import parse_alignment
+from repro.tools.flagstat import FlagStats, flagstat, flagstat_parallel, \
+    flagstat_records
+
+
+def rec(flag, rname="chr1", rnext="=", mapq=60):
+    pos = "100" if rname != "*" else "0"
+    cigar = "4M" if not flag & 0x4 else "*"
+    return parse_alignment(
+        f"q\t{flag}\t{rname}\t{pos}\t{mapq}\t{cigar}\t{rnext}\t0\t0"
+        f"\tACGT\tIIII")
+
+
+def test_counts_proper_pair():
+    stats = flagstat_records([rec(99), rec(147)])
+    assert stats.total == 2
+    assert stats.mapped == 2
+    assert stats.paired == 2
+    assert stats.read1 == 1 and stats.read2 == 1
+    assert stats.properly_paired == 2
+    assert stats.with_mate_mapped == 2
+    assert stats.singletons == 0
+
+
+def test_counts_secondary_supplementary_duplicates():
+    stats = flagstat_records([rec(0x100), rec(0x800), rec(0x400)])
+    assert stats.secondary == 1
+    assert stats.supplementary == 1
+    assert stats.duplicates == 1
+    # Secondary/supplementary records never count toward pair stats.
+    assert stats.paired == 0
+
+
+def test_singleton():
+    stats = flagstat_records([rec(0x1 | 0x8 | 0x40)])
+    assert stats.singletons == 1
+    assert stats.with_mate_mapped == 0
+
+
+def test_mate_on_different_chr():
+    low = rec(0x1 | 0x40, rnext="chr2", mapq=3)
+    high = rec(0x1 | 0x40, rnext="chr2", mapq=30)
+    stats = flagstat_records([low, high])
+    assert stats.mate_on_different_chr == 2
+    assert stats.mate_on_different_chr_mapq5 == 1
+
+
+def test_unmapped():
+    stats = flagstat_records([rec(0x4, rname="*", rnext="*", mapq=0)])
+    assert stats.total == 1 and stats.mapped == 0
+
+
+def test_merge_is_elementwise():
+    a = flagstat_records([rec(99)])
+    b = flagstat_records([rec(147), rec(0x400)])
+    merged = a.merge(b)
+    assert merged.total == 3
+    assert merged.duplicates == 1
+    assert merged.properly_paired == 2
+
+
+def test_report_format():
+    stats = flagstat_records([rec(99), rec(147)])
+    report = stats.format_report()
+    assert "2 in total" in report
+    assert "2 mapped (100.00%)" in report
+    assert "2 properly paired (100.00%)" in report
+
+
+def test_report_handles_empty():
+    assert "N/A" in FlagStats().format_report()
+
+
+def test_file_and_parallel_agree(sam_file, bam_file):
+    seq = flagstat(sam_file)
+    from_bam = flagstat(bam_file)
+    assert seq == from_bam
+    for nprocs in (1, 2, 7):
+        par, metrics = flagstat_parallel(sam_file, nprocs)
+        assert par == seq, nprocs
+        assert len(metrics) == nprocs
+
+
+def test_counts_match_workload(sam_file, workload):
+    _, _, records = workload
+    stats = flagstat(sam_file)
+    assert stats.total == len(records)
+    assert stats.mapped == sum(1 for r in records if r.is_mapped)
+    assert stats.paired == len(records)  # all simulated reads paired

@@ -1,0 +1,91 @@
+"""Fuzz-style pipeline properties: generated record sets through the
+full converter stack with random rank counts."""
+
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BamConverter, SamConverter
+from repro.formats.bam import write_bam
+from repro.formats.header import SamHeader
+from repro.formats.sam import read_sam, write_sam
+from tests.test_properties_records import records as record_strategy
+
+HDR = SamHeader.from_references([("chr1", 1 << 20), ("chr2", 1 << 18)])
+
+
+@given(st.lists(record_strategy(), min_size=1, max_size=12),
+       st.integers(1, 7))
+@settings(max_examples=20, deadline=None)
+def test_sam_converter_preserves_arbitrary_records(batch, nprocs):
+    """Any record set survives SAM -> partitioned parallel -> SAM."""
+    with tempfile.TemporaryDirectory() as d:
+        src = f"{d}/in.sam"
+        write_sam(src, HDR, batch)
+        result = SamConverter().convert(src, "sam", f"{d}/out",
+                                        nprocs=nprocs)
+        recovered = []
+        for path in result.outputs:
+            _, part = read_sam(path)
+            recovered.extend(part)
+    assert recovered == batch
+    assert result.records == len(batch)
+
+
+@given(st.lists(record_strategy(), min_size=1, max_size=10),
+       st.integers(1, 5))
+@settings(max_examples=12, deadline=None)
+def test_bam_pipeline_preserves_arbitrary_records(batch, nprocs):
+    """Any record set survives BAM -> BAMX preprocessing -> parallel
+    SAM conversion (modulo BAM's '=' RNEXT normalization)."""
+    from tests.test_properties_records import _norm
+    with tempfile.TemporaryDirectory() as d:
+        src = f"{d}/in.bam"
+        write_bam(src, HDR, batch)
+        converter = BamConverter()
+        bamx, _, _ = converter.preprocess(src, f"{d}/work")
+        result = converter.convert(bamx, "sam", f"{d}/out",
+                                   nprocs=nprocs)
+        recovered = []
+        for path in result.outputs:
+            _, part = read_sam(path)
+            recovered.extend(part)
+    assert recovered == [_norm(r) for r in batch]
+
+
+@given(st.lists(record_strategy(), min_size=0, max_size=10))
+@settings(max_examples=15, deadline=None)
+def test_flagstat_invariants(batch):
+    """Category counts respect their structural inequalities for any
+    record set."""
+    from repro.tools.flagstat import flagstat_records
+    stats = flagstat_records(batch)
+    assert stats.total == len(batch)
+    assert stats.mapped <= stats.total
+    assert stats.properly_paired <= stats.paired
+    assert stats.read1 + stats.read2 <= stats.paired * 2
+    assert stats.singletons + stats.with_mate_mapped <= stats.paired
+    assert stats.mate_on_different_chr_mapq5 <= \
+        stats.mate_on_different_chr
+
+
+@given(st.lists(record_strategy(), min_size=1, max_size=12),
+       st.integers(1, 4))
+@settings(max_examples=12, deadline=None)
+def test_sort_then_validate(batch, chunk):
+    """Sorting any record set yields a file the validator accepts as
+    coordinate-ordered (mate checks off: random mates are unrelated)."""
+    from repro.core.sort import sort_key, sort_sam
+    from repro.tools.validate import validate_file
+    with tempfile.TemporaryDirectory() as d:
+        src = f"{d}/in.sam"
+        write_sam(src, HDR, batch)
+        result = sort_sam(src, f"{d}/sorted.sam", chunk_records=chunk)
+        header, recovered = read_sam(result.output)
+        report = validate_file(result.output, check_mates=False)
+    keys = [sort_key(r, header) for r in recovered]
+    assert keys == sorted(keys)
+    assert not any(i.code == "NOT_COORDINATE_SORTED"
+                   for i in report.issues)

@@ -1,0 +1,176 @@
+"""Tests for indel simulation and gapped (banded-DP) alignment."""
+
+import pytest
+
+from repro.formats.cigar import query_length, reference_span
+from repro.simdata.aligner import Aligner, AlignerConfig, \
+    banded_semiglobal
+from repro.simdata.genome import Genome
+from repro.simdata.reads import ReadSimConfig, ReadSimulator
+
+
+# --- banded_semiglobal kernel -------------------------------------------
+
+
+def test_exact_match():
+    assert banded_semiglobal("ACGT", "ACGT") == (0, 0, [(4, "M")])
+
+
+def test_free_reference_ends():
+    dist, off, cigar = banded_semiglobal("ACGT", "TTACGTTT")
+    assert (dist, off, cigar) == (0, 2, [(4, "M")])
+
+
+def test_mismatch_counted():
+    dist, _, cigar = banded_semiglobal("ACGT", "AGGT")
+    assert dist == 1 and cigar == [(4, "M")]
+
+
+def test_insertion_in_read():
+    dist, off, cigar = banded_semiglobal("ACXGT", "ACGT")
+    assert dist == 1
+    assert query_length(cigar) == 5
+    assert reference_span(cigar) == 4
+    assert any(op == "I" for _, op in cigar)
+
+
+def test_deletion_from_read():
+    # Read skips the reference's T; the long distinct flanks make the
+    # deletion strictly cheaper than any mismatch alignment.
+    dist, off, cigar = banded_semiglobal("ACGTTGCA", "ACGTATGCA")
+    assert dist == 1
+    assert cigar == [(4, "M"), (1, "D"), (4, "M")]
+    assert query_length(cigar) == 8
+    assert reference_span(cigar) == 9
+
+
+def test_empty_read():
+    assert banded_semiglobal("", "ACGT") == (0, 0, [])
+
+
+def test_cigar_runs_are_merged():
+    _, _, cigar = banded_semiglobal("AAAA", "GGAAAAGG")
+    assert cigar == [(4, "M")]
+
+
+# --- simulator indels ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return Genome.synthesize([("chr1", 25_000)], seed=31)
+
+
+def test_indel_rate_zero_means_no_true_cigars(genome):
+    sim = ReadSimulator(genome, ReadSimConfig(junk_fraction=0.0),
+                        seed=1)
+    for r1, r2 in sim.simulate(20):
+        assert r1.true_cigar is None and r2.true_cigar is None
+
+
+def test_indel_reads_keep_read_length(genome):
+    cfg = ReadSimConfig(junk_fraction=0.0, indel_rate=1.0)
+    sim = ReadSimulator(genome, cfg, seed=2)
+    for r1, r2 in sim.simulate(20):
+        for read in (r1, r2):
+            assert len(read.sequence) == cfg.read_length
+            if read.true_cigar is not None:
+                assert query_length(read.true_cigar) == cfg.read_length
+
+
+def test_true_cigar_structure(genome):
+    cfg = ReadSimConfig(junk_fraction=0.0, indel_rate=1.0, max_indel=3)
+    sim = ReadSimulator(genome, cfg, seed=3)
+    saw_insertion = saw_deletion = False
+    for r1, r2 in sim.simulate(30):
+        for read in (r1, r2):
+            if read.true_cigar is None:
+                continue
+            ops = [op for _, op in read.true_cigar]
+            assert ops in (["M", "I", "M"], ["M", "D", "M"])
+            mid_len = read.true_cigar[1][0]
+            assert 1 <= mid_len <= 3
+            saw_insertion |= "I" in ops
+            saw_deletion |= "D" in ops
+    assert saw_insertion and saw_deletion
+
+
+def test_indel_config_validation():
+    with pytest.raises(Exception):
+        ReadSimConfig(indel_rate=1.5)
+    with pytest.raises(Exception):
+        ReadSimConfig(max_indel=0)
+
+
+# --- gapped aligner -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def gapped_setup(genome):
+    cfg = ReadSimConfig(junk_fraction=0.0, indel_rate=0.6)
+    sim = ReadSimulator(genome, cfg, seed=4)
+    aligner = Aligner(genome, AlignerConfig(gapped=True))
+    return sim.simulate(30), aligner
+
+
+def test_gapped_recovers_positions(gapped_setup):
+    pairs, aligner = gapped_setup
+    correct = total = 0
+    for r1, r2 in pairs:
+        rec1, rec2 = aligner.align_pair(r1, r2)
+        for rec, read in ((rec1, r1), (rec2, r2)):
+            total += 1
+            if rec.is_mapped and rec.pos == read.true_pos \
+                    and rec.is_reverse == read.true_reverse:
+                correct += 1
+    assert correct / total > 0.9
+
+
+def test_gapped_produces_indel_cigars(gapped_setup):
+    pairs, aligner = gapped_setup
+    with_indel = 0
+    indel_reads = 0
+    for r1, r2 in pairs:
+        rec1, rec2 = aligner.align_pair(r1, r2)
+        for rec, read in ((rec1, r1), (rec2, r2)):
+            if read.true_cigar is not None:
+                indel_reads += 1
+                if rec.is_mapped and any(op in "ID"
+                                         for _, op in rec.cigar):
+                    with_indel += 1
+    assert indel_reads > 10
+    assert with_indel / indel_reads > 0.8
+
+
+def test_gapped_records_validate_and_roundtrip(gapped_setup, tmp_path):
+    """Indel CIGARs flow through SAM and BAM codecs unchanged."""
+    from repro.formats.bam import read_bam, write_bam
+    from repro.formats.sam import read_sam, write_sam
+    pairs, aligner = gapped_setup
+    records = aligner.align_all(pairs[:10])
+    for rec in records:
+        rec.validate()
+    sam = tmp_path / "g.sam"
+    write_sam(sam, aligner.header, records)
+    _, back = read_sam(sam)
+    assert back == records
+    bam = tmp_path / "g.bam"
+    write_bam(bam, aligner.header, records)
+    _, back2 = read_bam(bam)
+    assert back2 == records
+
+
+def test_ungapped_mode_rejects_heavy_indel_reads(genome):
+    """Without gapped mode an indel shifts downstream bases, pushing
+    Hamming past the limit — most indel reads come out unmapped, which
+    is exactly the motivation for the gapped extension."""
+    cfg = ReadSimConfig(junk_fraction=0.0, indel_rate=1.0, max_indel=3)
+    sim = ReadSimulator(genome, cfg, seed=5)
+    plain = Aligner(genome, AlignerConfig(gapped=False))
+    gapped = Aligner(genome, AlignerConfig(gapped=True))
+    pairs = sim.simulate(15)
+    plain_mapped = sum(r.is_mapped for rec in map(
+        lambda p: plain.align_pair(*p), pairs) for r in rec)
+    gapped_mapped = sum(r.is_mapped for rec in map(
+        lambda p: gapped.align_pair(*p), pairs) for r in rec)
+    assert gapped_mapped > plain_mapped

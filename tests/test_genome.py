@@ -1,0 +1,59 @@
+"""Tests for synthetic genome generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.simdata.genome import Genome, synthesize_chromosome
+
+
+def test_synthesize_length_and_alphabet():
+    rng = np.random.default_rng(0)
+    rec = synthesize_chromosome("c", 5_000, rng)
+    assert len(rec.sequence) == 5_000
+    assert set(rec.sequence) <= set("ACGT")
+
+
+def test_deterministic_under_seed():
+    a = Genome.synthesize([("c1", 1_000)], seed=5)
+    b = Genome.synthesize([("c1", 1_000)], seed=5)
+    assert a.sequence("c1") == b.sequence("c1")
+    c = Genome.synthesize([("c1", 1_000)], seed=6)
+    assert a.sequence("c1") != c.sequence("c1")
+
+
+def test_gc_content_respected():
+    rng = np.random.default_rng(1)
+    seq = synthesize_chromosome("c", 200_000, rng, gc_content=0.6).sequence
+    gc = (seq.count("G") + seq.count("C")) / len(seq)
+    assert abs(gc - 0.6) < 0.01
+
+
+def test_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ReproError):
+        synthesize_chromosome("c", 0, rng)
+    with pytest.raises(ReproError):
+        synthesize_chromosome("c", 10, rng, gc_content=1.5)
+    with pytest.raises(ReproError):
+        Genome([])
+
+
+def test_duplicate_names_rejected():
+    rng = np.random.default_rng(0)
+    recs = [synthesize_chromosome("c", 10, rng),
+            synthesize_chromosome("c", 10, rng)]
+    with pytest.raises(ReproError):
+        Genome(recs)
+
+
+def test_accessors():
+    genome = Genome.synthesize([("a", 100), ("b", 200)], seed=0)
+    assert genome.names == ["a", "b"]
+    assert genome.references == [("a", 100), ("b", 200)]
+    assert genome.total_length == 300
+    assert genome.fetch("a", 10, 20) == genome.sequence("a")[10:20]
+    with pytest.raises(ReproError):
+        genome.fetch("a", 50, 200)
+    with pytest.raises(ReproError):
+        genome.sequence("z")

@@ -1,0 +1,113 @@
+"""Tests for the GFF3 codec and conversion target."""
+
+import io
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.gff import GffFeature, escape_attribute, \
+    format_feature, iter_gff, parse_feature, read_gff, \
+    unescape_attribute, write_gff
+
+
+def test_format_and_parse_roundtrip():
+    feature = GffFeature("chr1", "repro", "read_alignment", 99, 189,
+                         60.0, "+", None, {"ID": "read7", "nm": "2"})
+    line = format_feature(feature)
+    cols = line.split("\t")
+    assert cols[3] == "100"  # 1-based start on disk
+    assert cols[4] == "189"
+    assert parse_feature(line) == feature
+
+
+def test_dot_fields():
+    line = "chr1\t.\tregion\t1\t10\t.\t.\t.\t."
+    feature = parse_feature(line)
+    assert feature.score is None
+    assert feature.phase is None
+    assert feature.attributes == {}
+    assert format_feature(feature) == line
+
+
+def test_phase_roundtrip():
+    feature = GffFeature("c", "s", "CDS", 0, 9, None, "+", 2, {})
+    assert parse_feature(format_feature(feature)).phase == 2
+
+
+def test_attribute_escaping():
+    value = "a;b=c,d e%f"
+    assert unescape_attribute(escape_attribute(value)) == value
+    feature = GffFeature("c", "s", "t", 0, 5,
+                         attributes={"Note": value})
+    assert parse_feature(format_feature(feature)).attributes["Note"] \
+        == value
+
+
+@pytest.mark.parametrize("bad", [
+    "chr1\t.\tt\t1\t10\t.\t.\t.",            # 8 columns
+    "chr1\t.\tt\tone\t10\t.\t.\t.\t.",       # bad start
+    "chr1\t.\tt\t1\t10\t.\t.\t.\tnoequals",  # bad attribute
+])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(FormatError):
+        parse_feature(bad)
+
+
+def test_feature_validation():
+    with pytest.raises(FormatError):
+        GffFeature("c", "s", "t", 5, 5)
+    with pytest.raises(FormatError):
+        GffFeature("c", "s", "t", 0, 5, strand="x")
+    with pytest.raises(FormatError):
+        GffFeature("c", "s", "t", 0, 5, phase=3)
+
+
+def test_iter_skips_directives_and_comments():
+    text = ("##gff-version 3\n# comment\n"
+            "chr1\t.\tgene\t1\t100\t.\t+\t.\tID=g1\n")
+    features = list(iter_gff(io.StringIO(text)))
+    assert len(features) == 1
+    assert features[0].attributes["ID"] == "g1"
+
+
+def test_file_roundtrip(tmp_path):
+    features = [
+        GffFeature("chr1", "src", "gene", 0, 100, 1.5, "+", None,
+                   {"ID": "g1"}),
+        GffFeature("chr2", "src", "exon", 10, 20, None, "-", 0,
+                   {"Parent": "g1"}),
+    ]
+    path = tmp_path / "t.gff3"
+    assert write_gff(path, features) == 2
+    assert read_gff(path) == features
+    assert open(path).readline() == "##gff-version 3\n"
+
+
+def test_gff_target_plugin():
+    from repro.core.targets import get_target
+    from repro.formats.sam import parse_alignment
+    target = get_target("gff")
+    mapped = parse_alignment(
+        "r1\t16\tchr1\t101\t37\t8M\t*\t0\t0\tACGTACGT\tIIIIIIII\tNM:i:1")
+    line = target.emit(mapped)
+    feature = parse_feature(line)
+    assert feature.seqid == "chr1"
+    assert feature.start == 100 and feature.end == 108
+    assert feature.strand == "-"
+    assert feature.score == 37.0
+    assert feature.attributes == {"ID": "r1", "nm": "1"}
+    unmapped = parse_alignment("r2\t4\t*\t0\t0\t*\t*\t0\t0\tAC\tII")
+    assert target.emit(unmapped) is None
+
+
+def test_gff_conversion_end_to_end(sam_file, workload, tmp_path):
+    from repro.core import SamConverter
+    _, _, records = workload
+    result = SamConverter().convert(sam_file, "gff", tmp_path / "o",
+                                    nprocs=3)
+    mapped = sum(1 for r in records if r.is_mapped)
+    assert result.emitted == mapped
+    total = []
+    for path in result.outputs:
+        total.extend(read_gff(path))
+    assert len(total) == mapped

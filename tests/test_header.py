@@ -1,0 +1,114 @@
+"""Unit tests for the SAM header model."""
+
+import pytest
+
+from repro.errors import SamFormatError
+from repro.formats.header import HeaderLine, SamHeader, parse_header_line
+
+HEADER_TEXT = (
+    "@HD\tVN:1.4\tSO:coordinate\n"
+    "@SQ\tSN:chr1\tLN:1000\n"
+    "@SQ\tSN:chr2\tLN:2000\n"
+    "@RG\tID:rg1\tSM:sample\n"
+    "@PG\tID:aligner\tPN:repro\n"
+    "@CO\tfree text\twith tabs\n"
+)
+
+
+def test_parse_and_rerender_roundtrip():
+    header = SamHeader.from_text(HEADER_TEXT)
+    assert header.to_text() == HEADER_TEXT
+
+
+def test_reference_dictionary_order_and_lookup():
+    header = SamHeader.from_text(HEADER_TEXT)
+    assert [r.name for r in header.references] == ["chr1", "chr2"]
+    assert header.ref_id("chr1") == 0
+    assert header.ref_id("chr2") == 1
+    assert header.ref_name(1) == "chr2"
+    assert header.has_reference("chr1")
+    assert not header.has_reference("chrX")
+
+
+def test_unknown_reference_raises():
+    header = SamHeader.from_text(HEADER_TEXT)
+    with pytest.raises(SamFormatError):
+        header.ref_id("chr3")
+    with pytest.raises(SamFormatError):
+        header.ref_name(2)
+
+
+def test_sort_order():
+    header = SamHeader.from_text(HEADER_TEXT)
+    assert header.sort_order == "coordinate"
+    assert SamHeader().sort_order == "unknown"
+
+
+def test_with_sort_order_replaces_and_preserves_original():
+    header = SamHeader.from_text(HEADER_TEXT)
+    changed = header.with_sort_order("queryname")
+    assert changed.sort_order == "queryname"
+    assert header.sort_order == "coordinate"  # original untouched
+    # Adding SO when @HD lacks it:
+    bare = SamHeader.from_text("@SQ\tSN:c\tLN:5\n")
+    assert bare.with_sort_order("coordinate").sort_order == "coordinate"
+
+
+def test_from_references_builds_minimal_header():
+    header = SamHeader.from_references([("chrA", 500), ("chrB", 600)],
+                                       sort_order="coordinate")
+    assert header.ref_id("chrB") == 1
+    assert "@SQ\tSN:chrA\tLN:500" in header.to_text()
+    assert header.sort_order == "coordinate"
+
+
+@pytest.mark.parametrize("bad", [
+    "@SQ\tSN:chr1",            # missing LN
+    "@SQ\tLN:100",             # missing SN
+    "@SQ\tSN:chr1\tLN:zero",   # non-integer LN
+    "@SQ\tSN:chr1\tLN:0",      # non-positive LN
+])
+def test_invalid_sq_lines(bad):
+    with pytest.raises(SamFormatError):
+        SamHeader.from_text(bad + "\n")
+
+
+def test_duplicate_reference_rejected():
+    text = "@SQ\tSN:chr1\tLN:10\n@SQ\tSN:chr1\tLN:20\n"
+    with pytest.raises(SamFormatError):
+        SamHeader.from_text(text)
+
+
+def test_parse_header_line_validation():
+    with pytest.raises(SamFormatError):
+        parse_header_line("HD\tVN:1.4")       # no @
+    with pytest.raises(SamFormatError):
+        parse_header_line("@HDX\tVN:1.4")     # 3-char type
+    with pytest.raises(SamFormatError):
+        parse_header_line("@HD\tnovalue")     # field without colon
+
+
+def test_comment_line_preserves_tabs():
+    line = parse_header_line("@CO\ta\tb\tc")
+    assert line.type == "CO"
+    assert line.comment == "a\tb\tc"
+    assert line.to_sam() == "@CO\ta\tb\tc"
+
+
+def test_headerline_get():
+    line = HeaderLine("SQ", [("SN", "chr1"), ("LN", "10")])
+    assert line.get("SN") == "chr1"
+    assert line.get("XX") is None
+
+
+def test_equality_is_textual():
+    a = SamHeader.from_text(HEADER_TEXT)
+    b = SamHeader.from_text(HEADER_TEXT)
+    assert a == b
+    assert a != SamHeader.from_text("@SQ\tSN:chr1\tLN:1000\n")
+
+
+def test_empty_header():
+    header = SamHeader.from_text("")
+    assert header.to_text() == ""
+    assert header.references == []

@@ -1,0 +1,96 @@
+"""Tests for coverage histogram construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.formats.bedgraph import BedGraphInterval
+from repro.formats.header import SamHeader
+from repro.formats.record import AlignmentRecord
+from repro.stats.histogram import bedgraph_to_histogram, bin_coverage, \
+    coverage_depth, histogram_from_records, histogram_to_bedgraph
+
+HDR = SamHeader.from_references([("chr1", 100)])
+
+
+def rec(pos, length, chrom="chr1", flag=0):
+    return AlignmentRecord("r", flag, chrom, pos, 60, [(length, "M")],
+                           "*", -1, 0, "A" * length, "I" * length)
+
+
+def test_coverage_depth_single_read():
+    depth = coverage_depth([rec(10, 5)], "chr1", 100)
+    assert depth[9] == 0
+    assert all(depth[10:15] == 1)
+    assert depth[15] == 0
+
+
+def test_coverage_depth_overlapping_reads():
+    depth = coverage_depth([rec(0, 10), rec(5, 10)], "chr1", 100)
+    assert all(depth[0:5] == 1)
+    assert all(depth[5:10] == 2)
+    assert all(depth[10:15] == 1)
+
+
+def test_coverage_depth_ignores_other_chrom_and_unmapped():
+    reads = [rec(0, 10), rec(0, 10, chrom="chr2"), rec(0, 10, flag=4)]
+    depth = coverage_depth(reads, "chr1", 100)
+    assert depth.max() == 1
+
+
+def test_coverage_depth_clips_overhang():
+    depth = coverage_depth([rec(95, 10)], "chr1", 100)
+    assert all(depth[95:] == 1)
+    assert depth.sum() == 5
+
+
+def test_coverage_depth_deletion_counts_reference_span():
+    record = AlignmentRecord("r", 0, "chr1", 10, 60,
+                             [(3, "M"), (4, "D"), (3, "M")], "*", -1, 0,
+                             "ACGTAC", "IIIIII")
+    depth = coverage_depth([record], "chr1", 100)
+    assert all(depth[10:20] == 1)  # span 3+4+3
+
+
+def test_coverage_depth_validates_length():
+    with pytest.raises(ReproError):
+        coverage_depth([], "chr1", 0)
+
+
+def test_bin_coverage_sums():
+    depth = np.array([1, 1, 2, 2, 3])
+    bins = bin_coverage(depth, 2)
+    assert bins.tolist() == [2, 4, 3]
+
+
+def test_bin_coverage_exact_division():
+    assert bin_coverage(np.ones(10), 5).tolist() == [5, 5]
+
+
+def test_bin_coverage_validates():
+    with pytest.raises(ReproError):
+        bin_coverage(np.ones(4), 0)
+
+
+def test_histogram_from_records_conserves_mass(workload):
+    _, header, records = workload
+    histos = histogram_from_records(records, header, bin_size=25)
+    total = sum(h.sum() for h in histos.values())
+    mapped_bases = sum(min(r.end, dict(
+        (x.name, x.length) for x in header.references)[r.rname])
+        - r.pos for r in records if r.is_mapped and r.pos >= 0)
+    assert total == mapped_bases
+
+
+def test_bedgraph_roundtrip():
+    histo = np.array([0, 0, 3, 3, 1, 0], dtype=float)
+    intervals = histogram_to_bedgraph(histo, "chr1", 25)
+    assert intervals[0] == BedGraphInterval("chr1", 0, 50, 0)
+    back = bedgraph_to_histogram(intervals, "chr1", len(histo), 25)
+    assert np.array_equal(back, histo)
+
+
+def test_bedgraph_to_histogram_rejects_misaligned():
+    with pytest.raises(ReproError):
+        bedgraph_to_histogram([BedGraphInterval("chr1", 3, 28, 1.0)],
+                              "chr1", 10, 25)

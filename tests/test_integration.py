@@ -1,0 +1,133 @@
+"""Cross-module integration tests: the full pipeline end to end, and the
+cross-converter equivalences the paper's design promises."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import sam_to_fastq
+from repro.core import BamConverter, PreprocSamConverter, SamConverter, \
+    convert_bam_direct
+from repro.formats.bam import write_bam
+from repro.formats.sam import read_sam
+from repro.simdata import build_histogram, build_sam_dataset, \
+    build_simulations
+from repro.stats import fdr_parallel, fdr_vectorized, \
+    histogram_from_records, nlmeans, nlmeans_parallel
+
+
+def cat(paths):
+    return b"".join(open(p, "rb").read() for p in paths)
+
+
+def body(paths):
+    out = []
+    for p in paths:
+        for line in open(p, "rb"):
+            if not line.startswith(b"@"):
+                out.append(line)
+    return b"".join(out)
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """One dataset shared by the integration tests below."""
+    d = tmp_path_factory.mktemp("pipeline")
+    wl = build_sam_dataset(d / "p.sam", 150, seed=77)
+    bam = d / "p.bam"
+    write_bam(bam, wl.header, wl.records)
+    return d, wl, str(d / "p.sam"), str(bam)
+
+
+def test_all_three_converters_agree(pipeline, tmp_path):
+    """The paper's core claim of interchangeable converter instances:
+    SAM converter, BAM converter (with preprocessing), and the
+    preprocessing-optimized SAM converter must all produce the same
+    target data for the same input."""
+    d, wl, sam_path, bam_path = pipeline
+    for target in ("bed", "fastq"):
+        a = SamConverter().convert(sam_path, target,
+                                   tmp_path / f"a_{target}", nprocs=3)
+        bamx, baix, _ = BamConverter().preprocess(
+            bam_path, tmp_path / f"w_{target}")
+        b = BamConverter().convert(bamx, target, tmp_path / f"b_{target}",
+                                   nprocs=4)
+        paths, _ = PreprocSamConverter().preprocess(
+            sam_path, tmp_path / f"w2_{target}", nprocs=2)
+        c = PreprocSamConverter().convert(paths, target,
+                                          tmp_path / f"c_{target}",
+                                          nprocs=2)
+        assert cat(a.outputs) == cat(b.outputs) == cat(c.outputs), target
+
+
+def test_direct_bam_equals_baseline(pipeline, tmp_path):
+    d, wl, sam_path, bam_path = pipeline
+    direct = convert_bam_direct(bam_path, "fastq", tmp_path / "d.fastq")
+    baseline = sam_to_fastq(sam_path, tmp_path / "b.fastq")
+    assert cat(direct.outputs) == open(baseline.output, "rb").read()
+
+
+def test_partial_conversion_union_covers_full(pipeline, tmp_path):
+    """Converting chr1 and chr2 regions separately yields every placed
+    record exactly once."""
+    d, wl, sam_path, bam_path = pipeline
+    bamx, baix, _ = BamConverter().preprocess(bam_path, tmp_path / "w")
+    total = 0
+    converter = BamConverter()
+    for chrom in ("chr1", "chr2"):
+        result = converter.convert_region(bamx, baix, chrom, "sam",
+                                          tmp_path / chrom, nprocs=3)
+        total += result.records
+    placed = sum(1 for r in wl.records if r.rname != "*" and r.pos >= 0)
+    assert total == placed
+
+
+def test_sam_roundtrip_through_every_converter(pipeline, tmp_path):
+    d, wl, sam_path, bam_path = pipeline
+    result = SamConverter().convert(sam_path, "sam", tmp_path / "o",
+                                    nprocs=4)
+    recovered = []
+    for path in result.outputs:
+        _, part = read_sam(path)
+        recovered.extend(part)
+    assert recovered == wl.records
+
+
+def test_histogram_statistics_chain(pipeline):
+    """SAM -> coverage histogram -> NL-means -> FDR, the §IV workflow."""
+    d, wl, sam_path, bam_path = pipeline
+    histos = histogram_from_records(wl.records, wl.header, bin_size=25)
+    signal = np.concatenate([histos[c] for c in sorted(histos)])
+    assert signal.sum() > 0
+    denoised_seq = nlmeans(signal, 10, 4, 5.0)
+    denoised_par, _ = nlmeans_parallel(signal, 6, 10, 4, 5.0)
+    assert np.array_equal(denoised_par, denoised_seq)
+    sims = build_simulations(denoised_seq, 8, seed=5)
+    seq = fdr_vectorized(denoised_seq, sims, 2.0)
+    par, _ = fdr_parallel(denoised_seq, sims, 2.0, 5)
+    assert par.fdr == seq.fdr
+    assert 0.0 <= par.fdr
+
+
+def test_histogram_export_matches_converter_bedgraph(pipeline, tmp_path):
+    """The converter's per-record BEDGRAPH intervals, when accumulated,
+    equal the histogram module's per-base coverage."""
+    d, wl, sam_path, bam_path = pipeline
+    from repro.formats.bedgraph import read_bedgraph
+    from repro.stats.histogram import coverage_depth
+    result = SamConverter().convert(sam_path, "bedgraph", tmp_path / "o",
+                                    nprocs=2)
+    chr1_len = wl.header.references[wl.header.ref_id("chr1")].length
+    accumulated = np.zeros(chr1_len)
+    for path in result.outputs:
+        for iv in read_bedgraph(path):
+            if iv.chrom == "chr1":
+                accumulated[iv.start:min(iv.end, chr1_len)] += iv.value
+    direct = coverage_depth(wl.records, "chr1", chr1_len)
+    assert np.array_equal(accumulated, direct)
+
+
+def test_end_to_end_nondestructive(pipeline):
+    """The shared dataset is untouched by all previous tests."""
+    d, wl, sam_path, bam_path = pipeline
+    _, records = read_sam(sam_path)
+    assert records == wl.records

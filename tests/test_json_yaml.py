@@ -1,0 +1,108 @@
+"""Unit and property tests for the JSON and YAML alignment codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import json_fmt, yaml_fmt
+from repro.formats.record import UNMAPPED_POS, AlignmentRecord
+from repro.formats.sam import parse_alignment
+from repro.formats.tags import Tag
+
+LINE = ("frag7\t99\tchr1\t1000\t60\t10M\t=\t1200\t290\t"
+        "ACGTACGTAC\tIIIIIIIIII\tNM:i:1\tXH:H:BEEF\tXB:B:c,1,-2")
+
+
+def test_json_roundtrip_with_tags():
+    rec = parse_alignment(LINE)
+    line = json_fmt.format_record(rec)
+    assert json_fmt.dict_to_record(__import__("json").loads(line)) == rec
+
+
+def test_json_coordinates_are_one_based():
+    rec = parse_alignment(LINE)
+    data = json_fmt.record_to_dict(rec)
+    assert data["pos"] == 1000   # matches the SAM text column
+    assert data["pnext"] == 1200
+
+
+def test_json_unmapped_pos_zero():
+    rec = parse_alignment("r\t4\t*\t0\t0\t*\t*\t0\t0\tAC\tII")
+    data = json_fmt.record_to_dict(rec)
+    assert data["pos"] == 0
+    assert json_fmt.dict_to_record(data).pos == UNMAPPED_POS
+
+
+def test_json_file_roundtrip(tmp_path, records):
+    path = tmp_path / "t.jsonl"
+    assert json_fmt.write_json(path, records) == len(records)
+    assert json_fmt.read_json(path) == records
+
+
+def test_json_malformed_rejected():
+    with pytest.raises(FormatError):
+        json_fmt.dict_to_record({"qname": "x"})
+
+
+def test_yaml_scalar_roundtrips():
+    for value in (None, True, False, 0, -17, 3.5, "plain", "with space",
+                  "123abc", "", "tricky: colon", '"quoted"'):
+        assert yaml_fmt.load(yaml_fmt.dump(value)) == value
+
+
+def test_yaml_nested_structure_roundtrip():
+    doc = {"a": 1, "b": {"c": [1, 2, "x"], "d": None},
+           "e": [{"f": 2.5}], "empty_map": {}, "empty_list": []}
+    assert yaml_fmt.load(yaml_fmt.dump(doc)) == doc
+
+
+def test_yaml_multi_document():
+    text = yaml_fmt.dump({"a": 1})
+    stream = "---\n" + text + "---\n" + yaml_fmt.dump({"b": 2})
+    docs = list(yaml_fmt.load_all(stream))
+    assert docs == [{"a": 1}, {"b": 2}]
+
+
+def test_yaml_record_roundtrip():
+    rec = parse_alignment(LINE)
+    (doc,) = yaml_fmt.load_all(yaml_fmt.format_record(rec))
+    assert json_fmt.dict_to_record(doc) == rec
+
+
+def test_yaml_file_roundtrip(tmp_path, records):
+    path = tmp_path / "t.yaml"
+    assert yaml_fmt.write_yaml(path, records) == len(records)
+    assert yaml_fmt.read_yaml(path) == records
+
+
+def test_yaml_rejects_trailing_garbage():
+    with pytest.raises(FormatError):
+        yaml_fmt.load("a: 1\nnot a mapping line without colon\n")
+
+
+_plain = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=30)
+
+
+@given(st.dictionaries(
+    st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+    st.one_of(st.integers(-10**6, 10**6), st.booleans(), st.none(),
+              _plain,
+              st.lists(st.integers(-100, 100), max_size=5)),
+    max_size=6))
+def test_yaml_mapping_roundtrip_property(doc):
+    assert yaml_fmt.load(yaml_fmt.dump(doc)) == (doc if doc else None) \
+        or yaml_fmt.load(yaml_fmt.dump(doc)) == doc
+
+
+@given(st.integers(0, 5))
+def test_json_yaml_agree_on_records(seed):
+    from repro.simdata import build_alignments
+    _, _, records = build_alignments(3, seed=seed)
+    for rec in records:
+        via_json = json_fmt.dict_to_record(json_fmt.record_to_dict(rec))
+        (doc,) = yaml_fmt.load_all(yaml_fmt.format_record(rec))
+        via_yaml = json_fmt.dict_to_record(doc)
+        assert via_json == via_yaml == rec

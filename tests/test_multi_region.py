@@ -1,0 +1,101 @@
+"""Tests for multi-region (union) partial conversion."""
+
+import pytest
+
+from repro.core import BamConverter
+from repro.core.region import GenomicRegion
+from repro.errors import ConversionError
+from repro.formats.sam import read_sam
+
+
+@pytest.fixture(scope="module")
+def store(bam_file, tmp_path_factory):
+    work = tmp_path_factory.mktemp("multiregion")
+    converter = BamConverter()
+    bamx, baix, _ = converter.preprocess(bam_file, work)
+    return converter, bamx, baix
+
+
+def recovered_names(result):
+    names = []
+    for path in result.outputs:
+        _, records = read_sam(path)
+        names.extend(r.qname + str(r.flag) for r in records)
+    return names
+
+
+def test_union_of_disjoint_regions(store, workload, tmp_path):
+    converter, bamx, baix = store
+    _, _, records = workload
+    regions = ["chr1:1-10000", "chr1:30001-40000", "chr2:1-5000"]
+    result = converter.convert_regions(bamx, baix, regions, "sam",
+                                       tmp_path / "o", nprocs=3)
+    expected = [
+        r for r in records if (
+            (r.rname == "chr1" and (0 <= r.pos < 10_000
+                                    or 30_000 <= r.pos < 40_000))
+            or (r.rname == "chr2" and 0 <= r.pos < 5_000))]
+    assert result.records == len(expected)
+
+
+def test_overlapping_regions_deduplicate(store, workload, tmp_path):
+    converter, bamx, baix = store
+    _, _, records = workload
+    overlapping = ["chr1:1-20000", "chr1:10001-30000"]
+    result = converter.convert_regions(bamx, baix, overlapping, "sam",
+                                       tmp_path / "o", nprocs=2)
+    single = converter.convert_region(bamx, baix, "chr1:1-30000", "sam",
+                                      tmp_path / "s", nprocs=2)
+    assert result.records == single.records
+    assert sorted(recovered_names(result)) == \
+        sorted(recovered_names(single))
+
+
+def test_multi_region_overlap_mode(store, workload, tmp_path):
+    converter, bamx, _ = store
+    _, _, records = workload
+    result = converter.convert_regions(
+        bamx, None, ["chr1:5001-5100", "chr2:1001-1100"], "sam",
+        tmp_path / "o", nprocs=2, mode="overlap")
+    expected = [
+        r for r in records if r.is_mapped and (
+            (r.rname == "chr1" and r.pos < 5_100 and r.end > 5_000)
+            or (r.rname == "chr2" and r.pos < 1_100 and r.end > 1_000))]
+    assert result.records == len(expected)
+
+
+def test_multi_region_accepts_parsed_regions(store, workload, tmp_path):
+    converter, bamx, baix = store
+    _, header, _ = workload
+    regions = [GenomicRegion("chr1", 0, 5_000),
+               GenomicRegion("chr2", 0, 5_000)]
+    result = converter.convert_regions(bamx, baix, regions, "bed",
+                                       tmp_path / "o", nprocs=2)
+    assert result.records >= 0
+
+
+def test_multi_region_with_filter(store, workload, tmp_path):
+    from repro.core import RecordFilter
+    converter, bamx, baix = store
+    _, _, records = workload
+    f = RecordFilter(min_mapq=50)
+    result = converter.convert_regions(bamx, baix,
+                                       ["chr1:1-60000"], "sam",
+                                       tmp_path / "o", nprocs=2,
+                                       record_filter=f)
+    expected = sum(1 for r in records
+                   if r.rname == "chr1" and 0 <= r.pos < 60_000
+                   and r.mapq >= 50)
+    assert result.records == expected
+
+
+def test_validation(store, tmp_path):
+    converter, bamx, baix = store
+    with pytest.raises(ConversionError):
+        converter.convert_regions(bamx, baix, [], "sam", tmp_path / "o")
+    with pytest.raises(ConversionError):
+        converter.convert_regions(bamx, baix, ["chr1:1-10"], "sam",
+                                  tmp_path / "o", nprocs=0)
+    with pytest.raises(ConversionError):
+        converter.convert_regions(bamx, baix, ["chr1:1-10"], "sam",
+                                  tmp_path / "o", mode="middle")

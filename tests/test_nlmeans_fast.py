@@ -1,0 +1,81 @@
+"""Tests for the O(N(2r+1)) prefix-sum NL-means variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ReproError
+from repro.stats.nlmeans import nlmeans, nlmeans_reference
+from repro.stats.nlmeans_fast import nlmeans_auto, nlmeans_fast
+
+
+@pytest.fixture(scope="module")
+def signal():
+    rng = np.random.default_rng(7)
+    return rng.uniform(0, 60, 800)
+
+
+def test_matches_exact_kernel(signal):
+    exact = nlmeans(signal, 15, 6, 9.0)
+    fast = nlmeans_fast(signal, 15, 6, 9.0)
+    assert np.allclose(fast, exact, rtol=1e-9, atol=1e-9)
+
+
+def test_matches_reference(signal):
+    small = signal[:120]
+    ref = nlmeans_reference(small, 6, 3, 8.0)
+    fast = nlmeans_fast(small, 6, 3, 8.0)
+    assert np.allclose(fast, ref, rtol=1e-8, atol=1e-8)
+
+
+def test_constant_signal_unchanged():
+    v = np.full(64, 5.0)
+    assert np.allclose(nlmeans_fast(v, 4, 2, 3.0), 5.0)
+
+
+def test_zero_half_patch():
+    v = np.arange(30, dtype=float)
+    exact = nlmeans(v, 3, 0, 2.0)
+    fast = nlmeans_fast(v, 3, 0, 2.0)
+    assert np.allclose(fast, exact, rtol=1e-10)
+
+
+def test_auto_dispatch(signal):
+    exact = nlmeans_auto(signal, 8, 3, 5.0, exact=True)
+    fast = nlmeans_auto(signal, 8, 3, 5.0, exact=False)
+    assert np.array_equal(exact, nlmeans(signal, 8, 3, 5.0))
+    assert np.allclose(fast, exact, rtol=1e-9)
+
+
+def test_validation_shared_with_exact_kernel():
+    with pytest.raises(ReproError):
+        nlmeans_fast(np.ones(10), 0, 2, 1.0)
+    with pytest.raises(ReproError):
+        nlmeans_fast(np.ones(10), 2, 1, -1.0)
+
+
+def test_fast_is_actually_faster():
+    import time
+    rng = np.random.default_rng(1)
+    v = rng.uniform(0, 50, 4_000)
+    t0 = time.perf_counter()
+    nlmeans(v, 40, 15, 10.0)
+    t_exact = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    nlmeans_fast(v, 40, 15, 10.0)
+    t_fast = time.perf_counter() - t0
+    # The (2l+1)=31x work reduction must show up as a clear win even
+    # with timing noise.
+    assert t_fast < 0.5 * t_exact, (t_exact, t_fast)
+
+
+@given(arrays(np.float64, st.integers(4, 100),
+              elements=st.floats(0, 100, allow_nan=False)),
+       st.integers(1, 6), st.integers(0, 4))
+@settings(max_examples=40, deadline=None)
+def test_agreement_property(values, r, l):
+    exact = nlmeans(values, r, l, 5.0)
+    fast = nlmeans_fast(values, r, l, 5.0)
+    assert np.allclose(fast, exact, rtol=1e-8, atol=1e-8)

@@ -1,0 +1,78 @@
+"""Tests for the paired-end read simulator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.formats.seq import decode_qualities, reverse_complement
+from repro.simdata.genome import Genome
+from repro.simdata.reads import ReadSimConfig, ReadSimulator
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return Genome.synthesize([("chr1", 30_000)], seed=3)
+
+
+def test_pair_structure(genome):
+    sim = ReadSimulator(genome, ReadSimConfig(junk_fraction=0.0), seed=1)
+    r1, r2 = sim.simulate_pair(0)
+    assert r1.name == r2.name
+    assert r1.mate == 1 and r2.mate == 2
+    assert len(r1.sequence) == len(r1.quality) == 90
+    assert not r1.true_reverse and r2.true_reverse
+
+
+def test_ground_truth_positions_consistent(genome):
+    cfg = ReadSimConfig(junk_fraction=0.0)
+    sim = ReadSimulator(genome, cfg, seed=2)
+    for r1, r2 in sim.simulate(50):
+        assert r1.true_chrom == r2.true_chrom == "chr1"
+        assert r1.tlen == -r2.tlen
+        assert r2.true_pos - r1.true_pos == r1.tlen - cfg.read_length
+        assert 0 <= r1.true_pos
+        assert r2.true_pos + cfg.read_length <= 30_000
+
+
+def test_reads_match_reference_modulo_errors(genome):
+    cfg = ReadSimConfig(junk_fraction=0.0)
+    sim = ReadSimulator(genome, cfg, seed=4)
+    ref = genome.sequence("chr1")
+    for r1, r2 in sim.simulate(30):
+        truth1 = ref[r1.true_pos:r1.true_pos + 90]
+        mismatches = sum(a != b for a, b in zip(r1.sequence, truth1))
+        assert mismatches < 20  # errors are rare, never wholesale
+        truth2 = reverse_complement(ref[r2.true_pos:r2.true_pos + 90])
+        mismatches2 = sum(a != b for a, b in zip(r2.sequence, truth2))
+        assert mismatches2 < 20
+
+
+def test_quality_profile_decays(genome):
+    sim = ReadSimulator(genome, ReadSimConfig(junk_fraction=0.0), seed=5)
+    reads = [r for pair in sim.simulate(40) for r in pair]
+    first = [decode_qualities(r.quality)[0] for r in reads]
+    last = [decode_qualities(r.quality)[-1] for r in reads]
+    assert sum(first) / len(first) > sum(last) / len(last) + 5
+
+
+def test_junk_fraction_produces_unanchored_reads(genome):
+    sim = ReadSimulator(genome, ReadSimConfig(junk_fraction=1.0), seed=6)
+    r1, r2 = sim.simulate_pair(0)
+    assert r1.true_chrom is None and r2.true_chrom is None
+
+
+def test_determinism(genome):
+    a = ReadSimulator(genome, seed=9).simulate(10)
+    b = ReadSimulator(genome, seed=9).simulate(10)
+    assert [(r1.sequence, r2.sequence) for r1, r2 in a] == \
+        [(r1.sequence, r2.sequence) for r1, r2 in b]
+
+
+def test_config_validation():
+    with pytest.raises(ReproError):
+        ReadSimConfig(read_length=0)
+    with pytest.raises(ReproError):
+        ReadSimConfig(fragment_mean=10.0, read_length=90)
+    with pytest.raises(ReproError):
+        ReadSimConfig(junk_fraction=2.0)
+    with pytest.raises(ReproError):
+        ReadSimulator(Genome.synthesize([("c", 100)], 0)).simulate(-1)

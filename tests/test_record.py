@@ -1,0 +1,93 @@
+"""Unit tests for the canonical AlignmentRecord."""
+
+import pytest
+
+from repro.errors import SamFormatError
+from repro.formats.record import UNMAPPED_POS, AlignmentRecord
+from repro.formats.sam import parse_alignment
+from repro.formats.tags import Tag
+
+
+def make_record(**overrides):
+    base = dict(qname="read1", flag=0, rname="chr1", pos=99, mapq=60,
+                cigar=[(4, "M")], rnext="*", pnext=UNMAPPED_POS, tlen=0,
+                seq="ACGT", qual="IIII", tags=[])
+    base.update(overrides)
+    return AlignmentRecord(**base)
+
+
+def test_end_uses_reference_span():
+    rec = make_record(cigar=[(2, "M"), (1, "D"), (2, "M")], seq="ACGT")
+    assert rec.end == 99 + 5
+
+
+def test_end_without_cigar_occupies_one_base():
+    rec = make_record(cigar=[], seq="ACGT")
+    assert rec.end == 100
+
+
+def test_end_unmapped_is_sentinel():
+    rec = make_record(pos=UNMAPPED_POS, rname="*", cigar=[])
+    assert rec.end == UNMAPPED_POS
+
+
+def test_query_length_prefers_seq():
+    rec = make_record()
+    assert rec.query_length == 4
+    rec2 = make_record(seq="*", qual="*", cigar=[(7, "M")])
+    assert rec2.query_length == 7
+
+
+def test_original_orientation_roundtrip():
+    fwd = make_record(seq="AACG", qual="ABCD")
+    assert fwd.original_sequence() == "AACG"
+    assert fwd.original_qualities() == "ABCD"
+    rev = make_record(flag=16, seq="AACG", qual="ABCD")
+    assert rev.original_sequence() == "CGTT"
+    assert rev.original_qualities() == "DCBA"
+
+
+def test_original_orientation_star_passthrough():
+    rec = make_record(flag=16, seq="*", qual="*", cigar=[])
+    assert rec.original_sequence() == "*"
+    assert rec.original_qualities() == "*"
+
+
+def test_get_tag():
+    rec = make_record(tags=[Tag("NM", "i", 1), Tag("AS", "i", 2)])
+    assert rec.get_tag("AS") == Tag("AS", "i", 2)
+    assert rec.get_tag("XX") is None
+
+
+def test_validate_accepts_good_record():
+    make_record().validate()
+
+
+@pytest.mark.parametrize("overrides", [
+    dict(flag=-1),
+    dict(flag=0x2000),
+    dict(qname=""),
+    dict(qname="has space"),
+    dict(qname="x" * 255),
+    dict(mapq=300),
+    dict(pos=-5),
+    dict(seq="AC-T"),
+    dict(qual="III"),                     # length mismatch
+    dict(cigar=[(3, "M")]),               # cigar/seq mismatch
+])
+def test_validate_rejects_bad_records(overrides):
+    with pytest.raises(SamFormatError):
+        make_record(**overrides).validate()
+
+
+def test_flag_properties_delegate():
+    rec = make_record(flag=99)
+    assert rec.is_paired and rec.is_mapped and not rec.is_reverse
+    assert rec.mate_number == 1
+
+
+def test_parse_alignment_validate_flag_runs_validation():
+    line = "r\t0\tchr1\t10\t60\t5M\t*\t0\t0\tACGT\tIIII"  # CIGAR 5M vs 4bp
+    parse_alignment(line)  # lenient parse succeeds
+    with pytest.raises(SamFormatError):
+        parse_alignment(line, validate=True)

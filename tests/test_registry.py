@@ -1,0 +1,46 @@
+"""Unit tests for the format registry."""
+
+import pytest
+
+from repro.errors import ConversionError
+from repro.formats.registry import SOURCE_FORMATS, TARGET_FORMATS, \
+    detect_format, get_format, list_formats
+
+
+def test_known_formats_present():
+    names = {f.name for f in list_formats()}
+    assert {"sam", "bam", "bamx", "bed", "bedgraph", "fasta", "fastq",
+            "wig", "json", "yaml"} <= names
+
+
+def test_lookup_case_insensitive():
+    assert get_format("SAM").name == "sam"
+    assert get_format("BedGraph").name == "bedgraph"
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(ConversionError):
+        get_format("vcf")
+
+
+def test_detect_by_extension():
+    assert detect_format("/data/x.sam").name == "sam"
+    assert detect_format("x.fq").name == "fastq"
+    assert detect_format("x.bdg").name == "bedgraph"
+    assert detect_format("X.BAM").name == "bam"
+
+
+def test_detect_unknown_extension():
+    with pytest.raises(ConversionError):
+        detect_format("x.vcf")
+
+
+def test_source_and_target_lists_are_registered():
+    for name in SOURCE_FORMATS + tuple(TARGET_FORMATS):
+        get_format(name)
+
+
+def test_binary_flags():
+    assert get_format("bam").binary
+    assert get_format("bamx").binary
+    assert not get_format("sam").binary

@@ -1,0 +1,130 @@
+"""Unit and property tests for the SAM text codec."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SamFormatError
+from repro.formats.header import SamHeader
+from repro.formats.record import UNMAPPED_POS, AlignmentRecord
+from repro.formats.sam import SamReader, SamWriter, format_alignment, \
+    parse_alignment, read_sam, write_sam
+
+LINE = ("frag7\t99\tchr1\t1000\t60\t10M\t=\t1200\t290\t"
+        "ACGTACGTAC\tIIIIIIIIII\tNM:i:1\tRG:Z:lane1")
+
+
+def test_parse_maps_columns():
+    rec = parse_alignment(LINE)
+    assert rec.qname == "frag7"
+    assert rec.flag == 99
+    assert rec.rname == "chr1"
+    assert rec.pos == 999            # 1-based POS -> 0-based
+    assert rec.mapq == 60
+    assert rec.cigar == [(10, "M")]
+    assert rec.rnext == "="
+    assert rec.pnext == 1199
+    assert rec.tlen == 290
+    assert rec.seq == "ACGTACGTAC"
+    assert rec.qual == "IIIIIIIIII"
+    assert [t.name for t in rec.tags] == ["NM", "RG"]
+
+
+def test_format_is_exact_inverse():
+    assert format_alignment(parse_alignment(LINE)) == LINE
+
+
+def test_pos_zero_means_unavailable():
+    line = "r\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\tIIII"
+    rec = parse_alignment(line)
+    assert rec.pos == UNMAPPED_POS and rec.pnext == UNMAPPED_POS
+    assert format_alignment(rec) == line
+
+
+def test_too_few_columns():
+    with pytest.raises(SamFormatError):
+        parse_alignment("a\tb\tc")
+
+
+def test_non_integer_flag():
+    with pytest.raises(SamFormatError):
+        parse_alignment(LINE.replace("99", "xx", 1))
+
+
+def test_reader_separates_header_and_records():
+    text = ("@HD\tVN:1.4\n@SQ\tSN:chr1\tLN:5000\n"
+            + LINE + "\n" + LINE + "\n")
+    reader = SamReader(io.StringIO(text))
+    assert reader.header.ref_id("chr1") == 0
+    assert len(list(reader)) == 2
+
+
+def test_reader_headerless_file():
+    reader = SamReader(io.StringIO(LINE + "\n"))
+    assert reader.header.references == []
+    assert len(list(reader)) == 1
+
+
+def test_reader_skips_blank_lines():
+    reader = SamReader(io.StringIO(LINE + "\n\n" + LINE + "\n"))
+    assert len(list(reader)) == 2
+
+
+def test_file_roundtrip(tmp_path, workload):
+    _, header, records = workload
+    path = tmp_path / "roundtrip.sam"
+    assert write_sam(path, header, records) == len(records)
+    header2, records2 = read_sam(path)
+    assert header2 == header
+    assert records2 == records
+
+
+def test_writer_counts(tmp_path):
+    path = tmp_path / "counted.sam"
+    with SamWriter(path, SamHeader()) as writer:
+        writer.write(parse_alignment(LINE))
+        writer.write_all([parse_alignment(LINE)] * 3)
+        assert writer.records_written == 4
+
+
+_qname = st.from_regex(r"[!-?A-~]{1,40}", fullmatch=True)
+_seq = st.text(alphabet="ACGTN", min_size=1, max_size=60)
+
+
+@st.composite
+def sam_records(draw):
+    seq = draw(_seq)
+    mapped = draw(st.booleans())
+    if mapped:
+        cigar = [(len(seq), "M")]
+        rname, pos, mapq = "chr1", draw(st.integers(0, 10_000)), \
+            draw(st.integers(0, 254))
+        flag = draw(st.sampled_from([0, 16, 99, 147, 83, 163]))
+    else:
+        cigar = []
+        rname, pos, mapq = "*", UNMAPPED_POS, 0
+        flag = 4
+    qual = "".join(chr(draw(st.integers(33, 126)))
+                   for _ in range(len(seq)))
+    return AlignmentRecord(
+        qname=draw(_qname), flag=flag, rname=rname, pos=pos, mapq=mapq,
+        cigar=cigar, rnext="*", pnext=UNMAPPED_POS,
+        tlen=draw(st.integers(-10_000, 10_000)), seq=seq, qual=qual,
+        tags=[])
+
+
+@given(sam_records())
+def test_record_text_roundtrip_property(record):
+    assert parse_alignment(format_alignment(record)) == record
+
+
+@given(st.lists(sam_records(), min_size=1, max_size=8))
+def test_stream_roundtrip_property(records):
+    buf = io.StringIO()
+    writer = SamWriter(buf, SamHeader.from_references([("chr1", 20_000)]))
+    writer.write_all(records)
+    buf.seek(0)
+    reader = SamReader(buf)
+    assert list(reader) == records

@@ -1,0 +1,98 @@
+"""Unit and property tests for sequence/quality codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats.seq import NYBBLE_ALPHABET, decode_qualities, \
+    encode_qualities, pack_sequence, reverse_complement, unpack_sequence, \
+    validate_seq
+
+
+def test_reverse_complement_basic():
+    assert reverse_complement("ACGT") == "ACGT"
+    assert reverse_complement("AAAA") == "TTTT"
+    assert reverse_complement("ACCGGGT") == "ACCCGGT"
+
+
+def test_reverse_complement_involution():
+    seq = "ACGTNRYKM"
+    assert reverse_complement(reverse_complement(seq)) == seq
+
+
+def test_reverse_complement_preserves_case():
+    assert reverse_complement("acgt") == "acgt"
+    assert reverse_complement("AcGt") == "aCgT"
+
+
+def test_pack_even_and_odd_lengths():
+    packed = pack_sequence("ACGT")
+    assert len(packed) == 2
+    assert unpack_sequence(packed, 4) == "ACGT"
+    packed3 = pack_sequence("ACG")
+    assert len(packed3) == 2
+    assert unpack_sequence(packed3, 3) == "ACG"
+
+
+def test_pack_nybble_codes_match_spec():
+    # '=ACMGRSVTWYHKDBN': A=1, C=2, G=4, T=8, N=15.
+    assert pack_sequence("A")[0] >> 4 == 1
+    assert pack_sequence("C")[0] >> 4 == 2
+    assert pack_sequence("G")[0] >> 4 == 4
+    assert pack_sequence("T")[0] >> 4 == 8
+    assert pack_sequence("N")[0] >> 4 == 15
+
+
+def test_pack_accepts_lowercase_normalizing_to_upper():
+    assert unpack_sequence(pack_sequence("acgt"), 4) == "ACGT"
+
+
+def test_pack_rejects_invalid():
+    with pytest.raises(FormatError):
+        pack_sequence("ACGQ")
+
+
+def test_unpack_too_short_raises():
+    with pytest.raises(FormatError):
+        unpack_sequence(b"\x12", 4)
+
+
+def test_quality_roundtrip():
+    scores = [0, 10, 41, 93]
+    assert decode_qualities(encode_qualities(scores)) == scores
+
+
+def test_quality_bounds():
+    with pytest.raises(FormatError):
+        encode_qualities([94])
+    with pytest.raises(FormatError):
+        encode_qualities([-1])
+    with pytest.raises(FormatError):
+        decode_qualities(" ")  # ord 32 < 33
+
+
+def test_validate_seq_star_passthrough():
+    assert validate_seq("*") == "*"
+    assert validate_seq("ACGTN") == "ACGTN"
+    with pytest.raises(FormatError):
+        validate_seq("AC-GT")
+
+
+_seq = st.text(alphabet=list(NYBBLE_ALPHABET[1:]), min_size=0,
+               max_size=300)
+
+
+@given(_seq)
+def test_pack_roundtrip_property(seq):
+    assert unpack_sequence(pack_sequence(seq), len(seq)) == seq
+
+
+@given(st.text(alphabet="ACGT", min_size=1, max_size=200))
+def test_revcomp_roundtrip_property(seq):
+    assert reverse_complement(reverse_complement(seq)) == seq
+
+
+@given(st.lists(st.integers(min_value=0, max_value=93), max_size=120))
+def test_quality_roundtrip_property(scores):
+    assert decode_qualities(encode_qualities(scores)) == scores

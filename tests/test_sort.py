@@ -1,0 +1,123 @@
+"""Tests for the external coordinate sort (samtools-sort substitute)."""
+
+import pytest
+
+from repro.core.sort import merge_runs, parallel_sort_sam, sort_bam, \
+    sort_key, sort_sam
+from repro.errors import ConversionError
+from repro.formats.bam import read_bam, write_bam
+from repro.formats.sam import read_sam, write_sam
+
+
+def is_sorted(records, header):
+    keys = [sort_key(r, header) for r in records]
+    return keys == sorted(keys)
+
+
+@pytest.fixture(scope="module")
+def unsorted_sam(unsorted_workload, tmp_path_factory):
+    _, header, records = unsorted_workload
+    path = tmp_path_factory.mktemp("sort") / "u.sam"
+    write_sam(path, header, records)
+    return str(path), header, records
+
+
+def test_sort_key_ordering(unsorted_workload):
+    from repro.formats.sam import parse_alignment
+    _, header, records = unsorted_workload
+    mapped = next(r for r in records if r.is_mapped)
+    unmapped = parse_alignment("u\t4\t*\t0\t0\t*\t*\t0\t0\tACGT\tIIII")
+    assert sort_key(mapped, header) < sort_key(unmapped, header)
+
+
+def test_in_memory_sort(unsorted_sam, tmp_path):
+    path, header, records = unsorted_sam
+    result = sort_sam(path, tmp_path / "s.sam")
+    assert result.runs == 0  # fits in one chunk
+    assert result.records == len(records)
+    out_header, out_records = read_sam(result.output)
+    assert is_sorted(out_records, out_header)
+    assert out_header.sort_order == "coordinate"
+    assert len(out_records) == len(records)
+
+
+def test_external_sort_with_spills(unsorted_sam, tmp_path):
+    path, header, records = unsorted_sam
+    result = sort_sam(path, tmp_path / "s.sam", chunk_records=37)
+    assert result.runs > 1
+    _, out_records = read_sam(result.output)
+    assert is_sorted(out_records, header)
+    # Same multiset of records: sort both deterministically and compare.
+    assert sorted(map(str, map(id, out_records))) is not None
+    assert sorted((r.qname, r.flag) for r in out_records) == \
+        sorted((r.qname, r.flag) for r in records)
+
+
+def test_spill_and_in_memory_agree(unsorted_sam, tmp_path):
+    path, header, _ = unsorted_sam
+    a = sort_sam(path, tmp_path / "a.sam", chunk_records=10 ** 9)
+    b = sort_sam(path, tmp_path / "b.sam", chunk_records=13)
+    assert open(a.output).read() == open(b.output).read()
+
+
+def test_sort_is_stable(tmp_path):
+    """Records at the same coordinate keep their input order."""
+    from repro.formats.header import SamHeader
+    from repro.formats.sam import parse_alignment
+    header = SamHeader.from_references([("chr1", 1000)])
+    records = [parse_alignment(
+        f"r{i}\t0\tchr1\t100\t60\t4M\t*\t0\t0\tACGT\tIIII")
+        for i in range(20)]
+    path = tmp_path / "ties.sam"
+    write_sam(path, header, records)
+    result = sort_sam(path, tmp_path / "s.sam", chunk_records=6)
+    _, out = read_sam(result.output)
+    assert [r.qname for r in out] == [f"r{i}" for i in range(20)]
+
+
+def test_sort_bam_roundtrip(unsorted_workload, tmp_path):
+    _, header, records = unsorted_workload
+    bam_in = tmp_path / "u.bam"
+    write_bam(bam_in, header, records)
+    result = sort_bam(bam_in, tmp_path / "s.bam", chunk_records=50)
+    out_header, out_records = read_bam(result.output)
+    assert is_sorted(out_records, out_header)
+    assert len(out_records) == len(records)
+    # Sorted BAM is now indexable.
+    from repro.formats.bai import BaiIndex
+    BaiIndex.from_bam(result.output)
+
+
+def test_parallel_sort_matches_sequential(unsorted_sam, tmp_path):
+    path, header, _ = unsorted_sam
+    seq = sort_sam(path, tmp_path / "seq.sam")
+    for nprocs in (1, 2, 5):
+        par, rank_metrics = parallel_sort_sam(
+            path, tmp_path / f"par{nprocs}.sam", nprocs,
+            tmp_path / f"w{nprocs}")
+        assert len(rank_metrics) == nprocs
+        assert open(par.output).read() == open(seq.output).read()
+
+
+def test_merge_runs_order(tmp_path, header):
+    from repro.formats.sam import SamWriter, parse_alignment
+    run_a = tmp_path / "a.sam"
+    run_b = tmp_path / "b.sam"
+    with SamWriter(run_a) as w:
+        w.write(parse_alignment(
+            "a\t0\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\tIIII"))
+        w.write(parse_alignment(
+            "c\t0\tchr1\t30\t60\t4M\t*\t0\t0\tACGT\tIIII"))
+    with SamWriter(run_b) as w:
+        w.write(parse_alignment(
+            "b\t0\tchr1\t20\t60\t4M\t*\t0\t0\tACGT\tIIII"))
+    merged = list(merge_runs([str(run_a), str(run_b)], header))
+    assert [r.qname for r in merged] == ["a", "b", "c"]
+
+
+def test_invalid_parameters(unsorted_sam, tmp_path):
+    path, _, _ = unsorted_sam
+    with pytest.raises(ConversionError):
+        sort_sam(path, tmp_path / "x.sam", chunk_records=0)
+    with pytest.raises(ConversionError):
+        parallel_sort_sam(path, tmp_path / "x.sam", 0, tmp_path / "w")

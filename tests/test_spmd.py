@@ -1,0 +1,112 @@
+"""Unit tests for the SPMD launcher over all backends."""
+
+import pytest
+
+from repro.errors import RuntimeLayerError
+from repro.runtime.spmd import SpmdFailure, run_spmd
+
+
+def rank_square(comm):
+    return comm.rank ** 2
+
+
+def ring_pass(comm):
+    """Send rank id around a ring; each rank returns what it received."""
+    if comm.size == 1:
+        return comm.rank
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    # Even ranks send first to avoid deadlock on blocking pipes.
+    if comm.rank % 2 == 0:
+        comm.send(comm.rank, right)
+        got = comm.recv(left)
+    else:
+        got = comm.recv(left)
+        comm.send(comm.rank, right)
+    comm.barrier()
+    return got
+
+
+def reduce_sum(comm):
+    return comm.allreduce(comm.rank + 1, lambda a, b: a + b)
+
+
+def failing_rank(comm):
+    if comm.rank == 1:
+        raise ValueError("rank 1 explodes")
+    return comm.rank
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_per_rank_results(backend):
+    assert run_spmd(rank_square, 4, backend=backend) == [0, 1, 4, 9]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_ring_communication(backend):
+    size = 4
+    results = run_spmd(ring_pass, size, backend=backend)
+    assert results == [(r - 1) % size for r in range(size)]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_collectives(backend):
+    size = 3
+    assert run_spmd(reduce_sum, size, backend=backend) == [6, 6, 6]
+
+
+def test_serial_backend_single_rank():
+    assert run_spmd(rank_square, 1, backend="serial") == [0]
+
+
+def test_serial_backend_rejects_multi_rank():
+    with pytest.raises(RuntimeLayerError):
+        run_spmd(rank_square, 2, backend="serial")
+
+
+def test_size_one_any_backend_runs_inline():
+    assert run_spmd(rank_square, 1, backend="thread") == [0]
+    assert run_spmd(rank_square, 1, backend="process") == [0]
+
+
+def test_invalid_backend():
+    with pytest.raises(RuntimeLayerError):
+        run_spmd(rank_square, 2, backend="mpi")
+
+
+def test_invalid_size():
+    with pytest.raises(RuntimeLayerError):
+        run_spmd(rank_square, 0)
+
+
+def test_thread_failure_collected():
+    with pytest.raises(SpmdFailure) as info:
+        run_spmd(failing_rank, 2, backend="thread")
+    assert 1 in info.value.failures
+    assert "rank 1 explodes" in info.value.failures[1]
+
+
+def test_process_failure_collected():
+    with pytest.raises(SpmdFailure) as info:
+        run_spmd(failing_rank, 2, backend="process")
+    assert 1 in info.value.failures
+
+
+def test_extra_args_passed_through():
+    def fn(comm, base, scale):
+        return base + scale * comm.rank
+    assert run_spmd(fn, 3, 10, 2, backend="thread") == [10, 12, 14]
+
+
+def test_out_of_order_tags_are_buffered_process_backend():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("a", 1, tag=1)
+            comm.send("b", 1, tag=2)
+            return None
+        # Receive in reverse tag order: the pipe comm must stash tag 1.
+        second = comm.recv(0, tag=2)
+        first = comm.recv(0, tag=1)
+        return (first, second)
+    results = run_spmd(fn, 2, backend="process")
+    assert results[1] == ("a", "b")

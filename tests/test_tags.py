@@ -1,0 +1,123 @@
+"""Unit and property tests for SAM optional fields (tags)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SamFormatError
+from repro.formats.tags import Tag, decode_tags, encode_tag, encode_tags, \
+    format_tags, parse_tag, parse_tags
+
+
+def test_parse_integer_tag():
+    tag = parse_tag("NM:i:3")
+    assert tag == Tag("NM", "i", 3)
+    assert tag.to_sam() == "NM:i:3"
+
+
+def test_parse_negative_integer():
+    assert parse_tag("XD:i:-17").value == -17
+
+
+def test_parse_char_string_float():
+    assert parse_tag("XT:A:U").value == "U"
+    assert parse_tag("RG:Z:sample one").value == "sample one"
+    assert parse_tag("XF:f:1.5").value == 1.5
+
+
+def test_parse_hex_tag():
+    tag = parse_tag("XH:H:DEADBEEF")
+    assert tag.value == bytes.fromhex("deadbeef")
+    assert tag.to_sam() == "XH:H:DEADBEEF"
+
+
+def test_parse_array_tag():
+    tag = parse_tag("XB:B:s,1,-2,300")
+    assert tag.value == ("s", (1, -2, 300))
+    assert tag.to_sam() == "XB:B:s,1,-2,300"
+
+
+def test_parse_float_array():
+    tag = parse_tag("XB:B:f,1.5,-2.0")
+    sub, values = tag.value
+    assert sub == "f" and values == (1.5, -2.0)
+
+
+@pytest.mark.parametrize("bad", [
+    "NM", "NM:i", "1M:i:3", "NM:q:3", "NM:i:abc", "XH:H:ABC",
+    "XH:H:GG", "XB:B:q,1", "XB:B:c,999", "XB:B:C,-1", "XA:A:ab",
+])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(SamFormatError):
+        parse_tag(bad)
+
+
+def test_binary_roundtrip_each_type():
+    tags = [
+        Tag("XA", "A", "u"),
+        Tag("NM", "i", 3),
+        Tag("XN", "i", -70000),
+        Tag("XF", "f", 0.5),
+        Tag("RG", "Z", "lane1"),
+        Tag("XH", "H", b"\x01\xff"),
+        Tag("XB", "B", ("S", (0, 65535))),
+        Tag("XC", "B", ("f", (1.5, 2.5))),
+    ]
+    assert decode_tags(encode_tags(tags)) == tags
+
+
+def test_integer_width_narrowing_is_transparent():
+    # Any i-tag decodes back as type 'i' regardless of stored width.
+    for value in (-128, 127, 255, -32768, 65535, 2**31 - 1, -2**31):
+        blob = encode_tag(Tag("XX", "i", value))
+        (tag,) = decode_tags(blob)
+        assert tag == Tag("XX", "i", value)
+
+
+def test_integer_too_wide_rejected():
+    with pytest.raises(SamFormatError):
+        encode_tag(Tag("XX", "i", 2**32))
+
+
+def test_decode_truncated_raises():
+    blob = encode_tag(Tag("NM", "i", 300))
+    with pytest.raises(SamFormatError):
+        decode_tags(blob[:3])
+
+
+def test_parse_and_format_tag_list():
+    fields = ["NM:i:2", "AS:i:88", "RG:Z:x"]
+    tags = parse_tags(fields)
+    assert format_tags(tags) == "\t".join(fields)
+    assert format_tags([]) == ""
+
+
+_tag_name = st.from_regex(r"[A-Za-z][A-Za-z0-9]", fullmatch=True)
+_printable = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=1)
+_z_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=40).filter(lambda s: "\t" not in s)
+
+_tags = st.one_of(
+    st.builds(Tag, _tag_name, st.just("A"), _printable),
+    st.builds(Tag, _tag_name, st.just("i"),
+              st.integers(min_value=-2**31, max_value=2**31 - 1)),
+    st.builds(Tag, _tag_name, st.just("Z"), _z_text),
+    st.builds(Tag, _tag_name, st.just("H"),
+              st.binary(min_size=0, max_size=16)),
+    st.builds(Tag, _tag_name, st.just("B"),
+              st.tuples(st.just("i"),
+                        st.tuples(st.integers(-2**31, 2**31 - 1)))),
+)
+
+
+@given(_tags)
+def test_sam_text_roundtrip_property(tag):
+    assert parse_tag(tag.to_sam()) == tag
+
+
+@given(st.lists(_tags, max_size=6))
+def test_binary_roundtrip_property(tags):
+    assert decode_tags(encode_tags(tags)) == tags

@@ -1,0 +1,132 @@
+"""Tests for the structural validator."""
+
+from repro.formats.header import SamHeader
+from repro.formats.record import AlignmentRecord
+from repro.formats.sam import parse_alignment, write_sam
+from repro.tools.validate import validate_file, validate_records
+
+HDR = SamHeader.from_references([("chr1", 1_000), ("chr2", 500)])
+HDR_SORTED = HDR.with_sort_order("coordinate")
+
+
+def line(text):
+    return parse_alignment(text)
+
+
+def test_clean_records_pass():
+    records = [
+        line("a\t99\tchr1\t100\t60\t4M\t=\t200\t104\tACGT\tIIII"),
+        line("a\t147\tchr1\t200\t60\t4M\t=\t100\t-104\tACGT\tIIII"),
+    ]
+    report = validate_records(records, HDR)
+    assert report.ok
+    assert report.records_checked == 2
+
+
+def test_unknown_reference_flagged():
+    records = [line("a\t0\tchrX\t10\t60\t4M\t*\t0\t0\tACGT\tIIII")]
+    report = validate_records(records, HDR)
+    assert not report.ok
+    assert report.errors[0].code == "UNKNOWN_REFERENCE"
+
+
+def test_unknown_rnext_flagged():
+    records = [line("a\t0\tchr1\t10\t60\t4M\tchrX\t0\t0\tACGT\tIIII")]
+    report = validate_records(records, HDR)
+    assert any(i.code == "UNKNOWN_REFERENCE" for i in report.errors)
+
+
+def test_pos_beyond_reference():
+    records = [line("a\t0\tchr2\t600\t60\t4M\t*\t0\t0\tACGT\tIIII")]
+    report = validate_records(records, HDR)
+    assert report.errors[0].code == "POS_BEYOND_REFERENCE"
+
+
+def test_end_beyond_reference():
+    records = [line("a\t0\tchr2\t499\t60\t4M\t*\t0\t0\tACGT\tIIII")]
+    report = validate_records(records, HDR)
+    assert report.errors[0].code == "POS_BEYOND_REFERENCE"
+
+
+def test_missing_header_dictionary():
+    records = [line("a\t0\tchr1\t10\t60\t4M\t*\t0\t0\tACGT\tIIII")]
+    report = validate_records(records, SamHeader())
+    assert report.errors[0].code == "MISSING_HEADER"
+
+
+def test_invalid_record_reported_not_raised():
+    bad = AlignmentRecord("a", 0, "chr1", 10, 60, [(5, "M")], "*", -1, 0,
+                          "ACGT", "IIII")  # CIGAR length mismatch
+    report = validate_records([bad], HDR)
+    assert report.errors[0].code == "RECORD_INVALID"
+
+
+def test_sort_order_claim_checked():
+    records = [
+        line("a\t0\tchr1\t500\t60\t4M\t*\t0\t0\tACGT\tIIII"),
+        line("b\t0\tchr1\t100\t60\t4M\t*\t0\t0\tACGT\tIIII"),
+    ]
+    report = validate_records(records, HDR_SORTED)
+    assert any(i.code == "NOT_COORDINATE_SORTED" for i in report.errors)
+    # The same records under an 'unsorted' header are fine.
+    assert validate_records(records, HDR).ok
+
+
+def test_sort_violation_reported_once():
+    records = [
+        line("a\t0\tchr1\t500\t60\t4M\t*\t0\t0\tACGT\tIIII"),
+        line("b\t0\tchr1\t100\t60\t4M\t*\t0\t0\tACGT\tIIII"),
+        line("c\t0\tchr1\t50\t60\t4M\t*\t0\t0\tACGT\tIIII"),
+    ]
+    report = validate_records(records, HDR_SORTED)
+    assert sum(1 for i in report.errors
+               if i.code == "NOT_COORDINATE_SORTED") == 1
+
+
+def test_mate_inconsistency_detected():
+    records = [
+        line("a\t99\tchr1\t100\t60\t4M\t=\t999\t104\tACGT\tIIII"),
+        line("a\t147\tchr1\t200\t60\t4M\t=\t100\t-104\tACGT\tIIII"),
+    ]
+    report = validate_records(records, HDR)
+    assert any(i.code == "MATE_INCONSISTENT" for i in report.errors)
+
+
+def test_duplicate_primary_detected():
+    records = [
+        line("a\t99\tchr1\t100\t60\t4M\t=\t200\t104\tACGT\tIIII"),
+        line("a\t99\tchr1\t300\t60\t4M\t=\t200\t104\tACGT\tIIII"),
+    ]
+    report = validate_records(records, HDR)
+    assert any(i.code == "DUPLICATE_PRIMARY" for i in report.errors)
+
+
+def test_check_mates_can_be_disabled():
+    records = [
+        line("a\t99\tchr1\t100\t60\t4M\t=\t999\t104\tACGT\tIIII"),
+        line("a\t147\tchr1\t200\t60\t4M\t=\t100\t-104\tACGT\tIIII"),
+    ]
+    report = validate_records(records, HDR, check_mates=False)
+    assert report.ok
+
+
+def test_report_formatting():
+    records = [line("a\t0\tchrX\t10\t60\t4M\t*\t0\t0\tACGT\tIIII")]
+    report = validate_records(records, HDR)
+    text = report.format_report()
+    assert "1 errors" in text
+    assert "UNKNOWN_REFERENCE" in text
+
+
+def test_workload_files_validate_clean(sam_file, bam_file):
+    assert validate_file(sam_file).ok
+    assert validate_file(bam_file).ok
+
+
+def test_unsorted_file_with_sorted_claim(tmp_path, unsorted_workload):
+    _, header, records = unsorted_workload
+    lying_header = header.with_sort_order("coordinate")
+    path = tmp_path / "lying.sam"
+    write_sam(path, lying_header, records)
+    report = validate_file(path, check_mates=False)
+    assert any(i.code == "NOT_COORDINATE_SORTED" for i in report.errors)

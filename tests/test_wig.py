@@ -1,0 +1,66 @@
+"""Unit tests for the WIG codec."""
+
+import io
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.bedgraph import BedGraphInterval
+from repro.formats.wig import iter_wig, read_wig, write_fixed_step
+
+
+def test_fixed_step_roundtrip(tmp_path):
+    path = tmp_path / "t.wig"
+    assert write_fixed_step(path, "chr1", [1.0, 2.5, 3.0], start=10) == 3
+    intervals = read_wig(path)
+    assert intervals == [
+        BedGraphInterval("chr1", 10, 11, 1.0),
+        BedGraphInterval("chr1", 11, 12, 2.5),
+        BedGraphInterval("chr1", 12, 13, 3.0),
+    ]
+
+
+def test_fixed_step_with_step_and_span():
+    text = "fixedStep chrom=c start=1 step=10 span=5\n1\n2\n"
+    intervals = list(iter_wig(io.StringIO(text)))
+    assert intervals == [BedGraphInterval("c", 0, 5, 1.0),
+                         BedGraphInterval("c", 10, 15, 2.0)]
+
+
+def test_variable_step():
+    text = "variableStep chrom=c span=2\n100 7\n300 9\n"
+    intervals = list(iter_wig(io.StringIO(text)))
+    assert intervals == [BedGraphInterval("c", 99, 101, 7.0),
+                         BedGraphInterval("c", 299, 301, 9.0)]
+
+
+def test_multiple_sections():
+    text = ("fixedStep chrom=a start=1\n5\n"
+            "variableStep chrom=b\n10 3\n")
+    intervals = list(iter_wig(io.StringIO(text)))
+    assert [iv.chrom for iv in intervals] == ["a", "b"]
+
+
+def test_track_and_comment_lines_skipped():
+    text = "track type=wiggle_0\n# note\nfixedStep chrom=c start=1\n4\n"
+    assert len(list(iter_wig(io.StringIO(text)))) == 1
+
+
+def test_data_before_declaration_rejected():
+    with pytest.raises(FormatError):
+        list(iter_wig(io.StringIO("5\n")))
+
+
+def test_declaration_missing_chrom_rejected():
+    with pytest.raises(FormatError):
+        list(iter_wig(io.StringIO("fixedStep start=1\n5\n")))
+
+
+def test_fixed_step_missing_start_rejected():
+    with pytest.raises(FormatError):
+        list(iter_wig(io.StringIO("fixedStep chrom=c\n5\n")))
+
+
+def test_variable_step_bad_line_rejected():
+    with pytest.raises(FormatError):
+        list(iter_wig(io.StringIO("variableStep chrom=c\n100\n")))

@@ -1,0 +1,69 @@
+"""Tests for the one-call workload builders."""
+
+import numpy as np
+
+from repro.formats.bam import read_bam
+from repro.formats.sam import read_sam
+from repro.simdata import build_alignments, build_bam_dataset, \
+    build_histogram, build_sam_dataset, build_simulations
+
+
+def test_build_alignments_sorted_by_default():
+    genome, header, records = build_alignments(40, seed=1)
+    assert header.sort_order == "coordinate"
+    mapped = [(header.ref_id(r.rname), r.pos) for r in records
+              if r.is_mapped]
+    assert mapped == sorted(mapped)
+
+
+def test_build_alignments_unsorted_keeps_template_order():
+    _, header, records = build_alignments(20, seed=2, sort=False)
+    assert header.sort_order == "unsorted"
+    names = [r.qname for r in records]
+    assert names == sorted(names)  # template ids are ascending
+
+
+def test_build_sam_dataset_roundtrip(tmp_path):
+    path = tmp_path / "w.sam"
+    wl = build_sam_dataset(path, 30, seed=3)
+    header, records = read_sam(path)
+    assert records == wl.records
+    assert header == wl.header
+
+
+def test_build_bam_dataset_roundtrip(tmp_path):
+    path = tmp_path / "w.bam"
+    wl = build_bam_dataset(path, 30, seed=4)
+    _, records = read_bam(path)
+    assert records == wl.records
+
+
+def test_workload_determinism(tmp_path):
+    a = build_sam_dataset(tmp_path / "a.sam", 25, seed=9)
+    b = build_sam_dataset(tmp_path / "b.sam", 25, seed=9)
+    assert a.records == b.records
+
+
+def test_build_histogram_properties():
+    histo = build_histogram(2_000, seed=5)
+    assert histo.shape == (2_000,)
+    assert (histo >= 0).all()
+    # Peaks rise well above the baseline.
+    assert histo.max() > 4 * np.median(histo)
+
+
+def test_build_histogram_deterministic():
+    assert np.array_equal(build_histogram(500, seed=1),
+                          build_histogram(500, seed=1))
+    assert not np.array_equal(build_histogram(500, seed=1),
+                              build_histogram(500, seed=2))
+
+
+def test_build_simulations_are_permutations():
+    histo = build_histogram(300, seed=6)
+    sims = build_simulations(histo, 5, seed=7)
+    assert sims.shape == (5, 300)
+    for b in range(5):
+        assert np.array_equal(np.sort(sims[b]), np.sort(histo))
+    # Different simulations differ from each other.
+    assert not np.array_equal(sims[0], sims[1])
