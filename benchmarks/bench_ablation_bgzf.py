@@ -10,7 +10,6 @@ from __future__ import annotations
 import time
 
 from repro.formats.bgzf import compress_bytes, decompress_bytes
-from repro.formats.sam import read_sam
 
 from .common import format_rows, report, sam_dataset
 

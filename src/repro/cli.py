@@ -3,13 +3,15 @@
 Subcommands cover the whole pipeline: simulate a dataset, preprocess it
 (BAMX/BAIX), convert it (fully or for one region, in parallel), build a
 coverage histogram, denoise it with NL-means, and compute an FDR
-threshold.  Run ``repro --help`` or ``repro <cmd> --help`` for options.
+threshold.  ``serve``/``submit``/``status``/``cancel`` drive the
+long-lived conversion job service (:mod:`repro.service`) over a local
+unix socket.  Run ``repro --help`` or ``repro <cmd> --help`` for
+options.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
 import numpy as np
@@ -22,9 +24,9 @@ def _parse_chroms(text: str) -> list[tuple[str, int]]:
     out = []
     for part in text.split(","):
         name, _, length = part.partition(":")
-        if not name or not length.isdigit():
+        if not name or not length.isdigit() or int(length) == 0:
             raise ReproError(f"bad chromosome spec {part!r} "
-                             "(want name:length)")
+                             "(want name:length with length >= 1)")
         out.append((name, int(length)))
     return out
 
@@ -60,13 +62,22 @@ def _cmd_convert(args: argparse.Namespace) -> int:
                                         args.executor,
                                         record_filter=record_filter)
     elif source.endswith(".bam"):
+        from .core import PreprocArtifacts
         converter = BamConverter()
-        bamx, _, pre = converter.preprocess(args.input, args.work_dir
-                                            or args.out_dir)
-        print(f"preprocessed to {bamx} "
-              f"({pre.total_seconds:.2f}s, {pre.records} records)")
-        result = converter.convert(bamx, args.target, args.out_dir,
-                                   args.nprocs, args.executor,
+        supplied = PreprocArtifacts.for_store(args.bamx, args.baix) \
+            if args.bamx else None
+        artifacts, pre = converter.ensure_preprocessed(
+            args.input, args.work_dir or args.out_dir,
+            artifacts=supplied)
+        if pre is not None:
+            print(f"preprocessed to {artifacts.store_path} "
+                  f"({pre.total_seconds:.2f}s, {pre.records} records)")
+        else:
+            print(f"reusing preprocessing artifacts "
+                  f"{artifacts.store_path}")
+        result = converter.convert(artifacts.store_path, args.target,
+                                   args.out_dir, args.nprocs,
+                                   args.executor,
                                    record_filter=record_filter)
     else:
         raise ReproError(
@@ -258,6 +269,92 @@ def _cmd_peaks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ConversionService, ServiceDaemon
+    service = ConversionService(args.work_dir, workers=args.workers,
+                                cache_dir=args.cache_dir,
+                                cache_max_bytes=args.cache_max_bytes)
+    daemon = ServiceDaemon(service, args.socket)
+    print(f"repro service listening on {args.socket} "
+          f"({args.workers} workers, cache at {service.cache.cache_dir})")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        daemon.stop()
+    return 0
+
+
+def _format_job_line(job: dict) -> str:
+    error = f"  error: {job['error']}" if job.get("error") else ""
+    return (f"{job['job_id']}  {job['kind']:<10} {job['state']:<9} "
+            f"attempts={job['attempts']}{error}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+    params = {"input": args.input, "target": args.target,
+              "out_dir": args.out_dir, "nprocs": args.nprocs,
+              "executor": args.executor}
+    if args.filter:
+        params["filter"] = args.filter
+    kind = "convert"
+    if args.region:
+        kind = "region"
+        params["region"] = args.region
+        params["mode"] = args.mode
+    with ServiceClient(args.socket) as client:
+        job = client.submit(kind, params, priority=args.priority,
+                            timeout=args.timeout,
+                            max_retries=args.max_retries)
+        print(f"submitted {job['job_id']} ({kind}, "
+              f"priority {job['priority']})")
+        if not args.wait:
+            return 0
+        job = client.wait(job["job_id"])
+    print(_format_job_line(job))
+    if job["state"] != "done":
+        return 1
+    result = job.get("result") or {}
+    if "records" in result:
+        cache = result.get("cache")
+        suffix = f" (preprocessing cache {cache})" if cache else ""
+        print(f"converted {result['records']} records -> "
+              f"{result['emitted']} {result['target']} objects in "
+              f"{len(result['outputs'])} part files "
+              f"({result['wall_seconds']:.2f}s){suffix}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .runtime.metrics import format_metrics_snapshot
+    from .service import ServiceClient
+    with ServiceClient(args.socket) as client:
+        if args.metrics:
+            print(format_metrics_snapshot(client.metrics()))
+            return 0
+        jobs = client.status(args.job)
+    if isinstance(jobs, dict):
+        jobs = [jobs]
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print(_format_job_line(job))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+    with ServiceClient(args.socket) as client:
+        cancelled = client.cancel(args.job)
+    if cancelled:
+        print(f"cancelled {args.job}")
+        return 0
+    print(f"{args.job} had already finished")
+    return 1
+
+
 def _cmd_formats(_args: argparse.Namespace) -> int:
     from .formats.registry import list_formats
     for info in list_formats():
@@ -300,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("simulate", "thread", "process"))
     p.add_argument("--filter", default=None,
                    help="record filter, e.g. 'q=30,F=0x400,primary'")
+    p.add_argument("--bamx", default=None,
+                   help="reuse this BAMX instead of preprocessing "
+                        "(BAM input only)")
+    p.add_argument("--baix", default=None,
+                   help="index for --bamx (default <bamx>.baix)")
     p.set_defaults(fn=_cmd_convert)
 
     p = sub.add_parser("preprocess", help="BAMX/BAIX preprocessing only")
@@ -416,6 +518,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bin-size", type=int, default=25,
                    help="bin size for BED coordinates")
     p.set_defaults(fn=_cmd_peaks)
+
+    p = sub.add_parser("serve", help="run the conversion job service "
+                                     "daemon")
+    p.add_argument("--socket", required=True,
+                   help="unix socket path to listen on")
+    p.add_argument("--work-dir", required=True,
+                   help="service state root (cache lives below it)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker threads draining the job queue")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact cache dir (default <work-dir>/cache)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="LRU size cap for the artifact cache")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a conversion job to a "
+                                      "running service")
+    p.add_argument("input", help=".sam, .bam, .bamx or .bamz input")
+    p.add_argument("--socket", required=True,
+                   help="service unix socket path")
+    p.add_argument("--target", required=True,
+                   help="target format (see 'repro formats')")
+    p.add_argument("--out-dir", required=True)
+    p.add_argument("--region", default=None,
+                   help="submit a partial conversion of this region")
+    p.add_argument("--mode", default="start",
+                   choices=("start", "overlap"),
+                   help="region selection semantics")
+    p.add_argument("--nprocs", type=int, default=1)
+    p.add_argument("--executor", default="simulate",
+                   choices=("simulate", "thread", "process"))
+    p.add_argument("--filter", default=None,
+                   help="record filter, e.g. 'q=30,F=0x400,primary'")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (default 0)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-attempt wall-clock limit in seconds")
+    p.add_argument("--max-retries", type=int, default=0)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("status", help="job status / service metrics of "
+                                      "a running service")
+    p.add_argument("job", nargs="?", default=None,
+                   help="job id (all jobs when omitted)")
+    p.add_argument("--socket", required=True,
+                   help="service unix socket path")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the service metrics snapshot instead")
+    p.set_defaults(fn=_cmd_status)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running "
+                                      "service job")
+    p.add_argument("job", help="job id")
+    p.add_argument("--socket", required=True,
+                   help="service unix socket path")
+    p.set_defaults(fn=_cmd_cancel)
 
     p = sub.add_parser("formats", help="list supported formats")
     p.set_defaults(fn=_cmd_formats)

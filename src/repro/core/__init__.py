@@ -3,7 +3,8 @@ instances, partial (region) conversion, and the target-plugin API."""
 
 from ..formats.record import AlignmentRecord
 from .base import EXECUTORS, ConversionResult
-from .bam_converter import BamConverter, convert_bam_direct, preprocess_bam
+from .bam_converter import BamConverter, PreprocArtifacts, \
+    convert_bam_direct, preprocess_bam
 from .dataset import AlignmentDataset, RecordStoreHandle
 from .filters import ACCEPT_ALL, RecordFilter, parse_filter_expr
 from .region import GenomicRegion
@@ -17,7 +18,8 @@ __all__ = [
     "AlignmentRecord",
     "ConversionResult", "EXECUTORS",
     "SamConverter", "convert_sam", "scan_header",
-    "BamConverter", "convert_bam_direct", "preprocess_bam",
+    "BamConverter", "PreprocArtifacts", "convert_bam_direct",
+    "preprocess_bam",
     "PreprocSamConverter",
     "GenomicRegion",
     "AlignmentDataset", "RecordStoreHandle",

@@ -101,6 +101,37 @@ def preprocess_bam(bam_path: str | os.PathLike[str],
 
 
 @dataclass(frozen=True, slots=True)
+class PreprocArtifacts:
+    """Preprocessing products handed to a converter from outside.
+
+    The service layer's artifact cache (and any future distributed
+    store) builds BAMX/BAIX pairs out-of-band; converters accept this
+    handle instead of insisting on running preprocessing themselves.
+    """
+
+    store_path: str
+    baix_path: str
+
+    @classmethod
+    def for_store(cls, store_path: str | os.PathLike[str],
+                  baix_path: str | os.PathLike[str] | None = None,
+                  ) -> "PreprocArtifacts":
+        """Wrap an existing store, defaulting the index path."""
+        store_path = os.fspath(store_path)
+        if baix_path is None:
+            baix_path = default_index_path(store_path)
+        return cls(store_path, os.fspath(baix_path))
+
+    def validate(self) -> "PreprocArtifacts":
+        """Check both files exist; returns self for chaining."""
+        for path in (self.store_path, self.baix_path):
+            if not os.path.isfile(path):
+                raise ConversionError(
+                    f"preprocessing artifact missing: {path}")
+        return self
+
+
+@dataclass(frozen=True, slots=True)
 class BamxRangeSpec:
     """One rank's contiguous BAMX record range (full conversion)."""
 
@@ -197,6 +228,25 @@ class BamConverter:
         metrics = preprocess_bam(bam_path, bamx_path, baix_path,
                                  compress=compress)
         return bamx_path, baix_path, metrics
+
+    def ensure_preprocessed(self, bam_path: str | os.PathLike[str],
+                            work_dir: str | os.PathLike[str],
+                            compress: bool = False,
+                            artifacts: PreprocArtifacts | None = None,
+                            ) -> tuple[PreprocArtifacts,
+                                       RankMetrics | None]:
+        """Reuse externally supplied artifacts or preprocess now.
+
+        When *artifacts* names an existing BAMX/BAIX pair (e.g. from
+        the service layer's content-addressed cache) the sequential
+        preprocessing phase is skipped entirely and the metrics slot is
+        ``None``; otherwise :meth:`preprocess` runs into *work_dir*.
+        """
+        if artifacts is not None:
+            return artifacts.validate(), None
+        store_path, baix_path, metrics = self.preprocess(
+            bam_path, work_dir, compress=compress)
+        return PreprocArtifacts(store_path, baix_path), metrics
 
     def convert(self, bamx_path: str | os.PathLike[str], target: str,
                 out_dir: str | os.PathLike[str], nprocs: int = 1,

@@ -220,7 +220,6 @@ def parallel_sort_sam(in_path: str | os.PathLike[str],
     """
     if nprocs < 1:
         raise ConversionError(f"nprocs {nprocs} must be >= 1")
-    t0 = time.perf_counter()
     in_path = os.fspath(in_path)
     work_dir = os.fspath(work_dir)
     os.makedirs(work_dir, exist_ok=True)

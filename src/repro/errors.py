@@ -77,3 +77,15 @@ class ConversionError(ReproError):
 
 class CapacityError(BamxFormatError):
     """A record exceeds the fixed field capacities of a BAMX layout."""
+
+
+class ServiceError(ReproError):
+    """The conversion job service was misused or failed internally."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job id does not name any job known to the service."""
+
+
+class ProtocolError(ServiceError):
+    """A client/daemon line-JSON message is malformed."""

@@ -12,7 +12,6 @@ from typing import Union
 
 from ..errors import BamxFormatError
 from . import bamx as _bamx
-from . import bamz as _bamz
 from .bamx import BamxReader
 from .bamz import BamzReader
 

@@ -5,7 +5,8 @@ from .buffers import BufferedBinaryWriter, BufferedTextWriter, \
     RangeLineReader
 from .comm import Communicator, SerialComm, ThreadComm
 from .metrics import DEFAULT_CLUSTER, ClusterModel, RankMetrics, \
-    SpeedupCurve, SpeedupPoint, merge_all, modeled_parallel_time, \
+    ServiceMetrics, SpeedupCurve, SpeedupPoint, \
+    format_metrics_snapshot, merge_all, modeled_parallel_time, \
     modeled_speedup
 from .partition import Partition, even_split, partition_bytes, \
     partition_rank_spmd, partition_records, partition_text_file
@@ -17,7 +18,8 @@ __all__ = [
     "Partition", "even_split", "partition_bytes", "partition_text_file",
     "partition_rank_spmd", "partition_records",
     "RangeLineReader", "BufferedTextWriter", "BufferedBinaryWriter",
-    "RankMetrics", "ClusterModel", "DEFAULT_CLUSTER", "merge_all",
+    "RankMetrics", "ServiceMetrics", "format_metrics_snapshot",
+    "ClusterModel", "DEFAULT_CLUSTER", "merge_all",
     "modeled_parallel_time", "modeled_speedup",
     "SpeedupCurve", "SpeedupPoint",
 ]

@@ -22,6 +22,7 @@ numbers.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -81,6 +82,95 @@ def merge_all(metrics: list[RankMetrics]) -> RankMetrics:
     for m in metrics:
         total = total.merge(m)
     return total
+
+
+class ServiceMetrics:
+    """Thread-safe counters/gauges/timers for the conversion service.
+
+    Three families, all named by plain strings so the service layer can
+    add counters without touching this class:
+
+    * **counters** — monotonically increasing (``jobs_submitted``,
+      ``cache_hits``, ...);
+    * **gauges** — last-set value (``queue_depth``, ``cache_bytes``);
+    * **timers** — (count, total seconds) pairs (``job_wall_seconds``).
+
+    ``snapshot()`` returns one plain dict safe to serialize over the
+    service protocol; ``format_report()`` renders it for humans.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, tuple[int, float]] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value*."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def add_gauge(self, name: str, delta: float) -> None:
+        """Adjust gauge *name* by *delta* (creating it at zero)."""
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0.0) + delta
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration under timer *name*."""
+        with self._lock:
+            count, total = self._timers.get(name, (0, 0.0))
+            self._timers[name] = (count + 1, total + seconds)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (zero if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge *name* (zero if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        """One consistent, JSON-serializable view of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: {"count": count, "total_seconds": total,
+                           "mean_seconds": total / count if count else 0.0}
+                    for name, (count, total) in self._timers.items()
+                },
+            }
+
+    def format_report(self) -> str:
+        """Human-readable metrics table (``repro status --metrics``)."""
+        return format_metrics_snapshot(self.snapshot())
+
+
+def format_metrics_snapshot(snap: dict) -> str:
+    """Render a :meth:`ServiceMetrics.snapshot` dict for humans.
+
+    Module-level so protocol clients can format a snapshot received
+    over the wire without reconstructing a ServiceMetrics.
+    """
+    lines = []
+    for name in sorted(snap.get("counters", {})):
+        lines.append(f"{name:<28} {snap['counters'][name]}")
+    for name in sorted(snap.get("gauges", {})):
+        lines.append(f"{name:<28} {snap['gauges'][name]:g}")
+    for name in sorted(snap.get("timers", {})):
+        t = snap["timers"][name]
+        lines.append(f"{name:<28} count={t['count']} "
+                     f"total={t['total_seconds']:.3f}s "
+                     f"mean={t['mean_seconds']:.3f}s")
+    return "\n".join(lines) if lines else "(no metrics recorded)"
 
 
 @dataclass(frozen=True, slots=True)

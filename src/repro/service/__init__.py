@@ -1,0 +1,21 @@
+"""Long-lived conversion job service.
+
+Turns the one-shot converters into a service: jobs with priorities,
+timeouts and retries (:mod:`jobs`), a thread worker pool draining a
+priority queue (:mod:`scheduler`), a content-addressed cache of
+preprocessing artifacts with LRU eviction (:mod:`cache`), and a
+line-JSON daemon/client pair over a local unix socket
+(:mod:`server`, :mod:`protocol`).
+"""
+
+from .cache import ArtifactCache, CacheEntry, cache_key, content_digest
+from .jobs import Job, JobState
+from .scheduler import WorkerPool
+from .server import ConversionService, ServiceClient, ServiceDaemon
+
+__all__ = [
+    "Job", "JobState",
+    "WorkerPool",
+    "ArtifactCache", "CacheEntry", "cache_key", "content_digest",
+    "ConversionService", "ServiceDaemon", "ServiceClient",
+]

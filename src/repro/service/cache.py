@@ -1,0 +1,253 @@
+"""Content-addressed preprocessing-artifact cache with LRU eviction.
+
+The paper's partial-conversion result (Fig. 8) only pays off when the
+sequential preprocessing products (BAMX/BAIX) are built once and reused
+across many region requests.  This cache makes that reuse explicit:
+artifacts are keyed by ``sha256(input file content || canonical
+preprocessing parameters)``, so two submissions of the same BAM with
+the same parameters share one preprocessing run no matter what the
+file is called, while any content or parameter change misses cleanly.
+
+Layout on disk::
+
+    <cache_dir>/<key>/          one entry per key
+        <stem>.bamx             whatever the builder writes
+        <stem>.bamx.baix
+        meta.json               key, input, params, size, last_used
+
+Entries are built in a temp directory and published with one
+``os.rename`` so readers never observe a half-written entry.  A global
+lock guards the LRU book-keeping; per-key build locks let concurrent
+submitters of the *same* input share one build while different keys
+build in parallel.  Eviction is size-capped LRU: after each build the
+total size is trimmed to ``max_bytes``, never evicting the entry that
+was just requested.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ServiceError
+from ..runtime.metrics import ServiceMetrics
+
+_CHUNK = 1 << 20
+_META = "meta.json"
+
+
+def content_digest(path: str | os.PathLike[str]) -> str:
+    """Streaming sha256 of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while chunk := fh.read(_CHUNK):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def cache_key(input_path: str | os.PathLike[str], params: dict) -> str:
+    """Cache key: input *content* hash combined with canonical params."""
+    canon = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256()
+    digest.update(content_digest(input_path).encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(canon.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _dir_bytes(path: str) -> int:
+    total = 0
+    for name in os.listdir(path):
+        total += os.path.getsize(os.path.join(path, name))
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class CacheEntry:
+    """One published cache entry."""
+
+    key: str
+    path: str
+    size_bytes: int
+
+    def file(self, name: str) -> str:
+        """Absolute path of artifact *name* inside the entry."""
+        return os.path.join(self.path, name)
+
+    def files(self) -> list[str]:
+        """All artifact paths in the entry (meta excluded)."""
+        return sorted(
+            os.path.join(self.path, name)
+            for name in os.listdir(self.path) if name != _META)
+
+
+class ArtifactCache:
+    """Content-addressed, size-capped LRU artifact store.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory; created on demand and rescanned on startup so a
+        restarted service inherits earlier preprocessing runs.
+    max_bytes:
+        Total size cap; ``None`` disables eviction.  A single entry
+        larger than the cap is kept (evicting the entry just built
+        would livelock repeat requests).
+    metrics:
+        Optional shared :class:`ServiceMetrics` for hit/miss/eviction
+        counters and size gauges.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike[str],
+                 max_bytes: int | None = None,
+                 metrics: ServiceMetrics | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ServiceError(f"max_bytes {max_bytes} must be positive")
+        self.cache_dir = os.fspath(cache_dir)
+        self.max_bytes = max_bytes
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._lock = threading.Lock()
+        self._build_locks: dict[str, threading.Lock] = {}
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self._scan()
+
+    # -- public API --------------------------------------------------
+
+    def get_or_build(self, input_path: str | os.PathLike[str],
+                     params: dict,
+                     builder: Callable[[str], None],
+                     ) -> tuple[CacheEntry, bool]:
+        """Return the entry for (*input_path*, *params*), building it
+        on a miss.
+
+        *builder(entry_dir)* must populate *entry_dir* with the
+        artifacts; it runs at most once per key even under concurrent
+        submission.  Returns ``(entry, hit)``.
+        """
+        key = cache_key(input_path, params)
+        with self._lock:
+            entry = self._touch(key)
+            build_lock = self._build_locks.setdefault(key,
+                                                      threading.Lock())
+        if entry is not None:
+            self.metrics.inc("cache_hits")
+            return entry, True
+        with build_lock:
+            # Re-check: another thread may have built while we waited.
+            with self._lock:
+                entry = self._touch(key)
+            if entry is not None:
+                self.metrics.inc("cache_hits")
+                return entry, True
+            self.metrics.inc("cache_misses")
+            entry = self._build(key, input_path, params, builder)
+        self._evict(keep=key)
+        return entry, False
+
+    def lookup(self, input_path: str | os.PathLike[str],
+               params: dict) -> CacheEntry | None:
+        """Entry for (*input_path*, *params*) if cached, else ``None``."""
+        key = cache_key(input_path, params)
+        with self._lock:
+            entry = self._touch(key)
+        self.metrics.inc("cache_hits" if entry else "cache_misses")
+        return entry
+
+    def total_bytes(self) -> int:
+        """Sum of all entry sizes."""
+        with self._lock:
+            return sum(e.size_bytes for e in self._entries.values())
+
+    def keys(self) -> list[str]:
+        """Keys in LRU order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
+
+    # -- internals ---------------------------------------------------
+
+    def _touch(self, key: str) -> CacheEntry | None:
+        # Called with the lock held: mark *key* most recently used.
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def _scan(self) -> None:
+        """Adopt entries already on disk (service restart)."""
+        found = []
+        for name in os.listdir(self.cache_dir):
+            path = os.path.join(self.cache_dir, name)
+            meta_path = os.path.join(path, _META)
+            if not os.path.isfile(meta_path):
+                continue  # temp build dir or foreign file
+            with open(meta_path, encoding="utf-8") as fh:
+                meta = json.load(fh)
+            found.append((meta.get("last_used", 0.0),
+                          CacheEntry(name, path, _dir_bytes(path))))
+        for _, entry in sorted(found, key=lambda pair: pair[0]):
+            self._entries[entry.key] = entry
+        self._publish_gauges()
+
+    def _build(self, key: str, input_path: str | os.PathLike[str],
+               params: dict, builder: Callable[[str], None]) -> CacheEntry:
+        final_dir = os.path.join(self.cache_dir, key)
+        tmp_dir = os.path.join(self.cache_dir,
+                               f".build-{key[:16]}-{os.getpid()}")
+        os.makedirs(tmp_dir, exist_ok=True)
+        try:
+            builder(tmp_dir)
+            meta = {
+                "key": key,
+                "input": os.fspath(input_path),
+                "params": params,
+                "created_at": time.time(),
+                "last_used": time.time(),
+            }
+            with open(os.path.join(tmp_dir, _META), "w",
+                      encoding="utf-8") as fh:
+                json.dump(meta, fh)
+            os.rename(tmp_dir, final_dir)
+        except BaseException:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+            raise
+        entry = CacheEntry(key, final_dir, _dir_bytes(final_dir))
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._publish_gauges()
+        return entry
+
+    def _evict(self, keep: str) -> None:
+        """Trim total size to ``max_bytes``, sparing entry *keep*."""
+        if self.max_bytes is None:
+            return
+        doomed: list[CacheEntry] = []
+        with self._lock:
+            total = sum(e.size_bytes for e in self._entries.values())
+            for key in list(self._entries):
+                if total <= self.max_bytes:
+                    break
+                if key == keep:
+                    continue
+                entry = self._entries.pop(key)
+                total -= entry.size_bytes
+                doomed.append(entry)
+            self._publish_gauges()
+        for entry in doomed:
+            shutil.rmtree(entry.path, ignore_errors=True)
+            self.metrics.inc("cache_evictions")
+
+    def _publish_gauges(self) -> None:
+        # Called with the lock held.
+        self.metrics.set_gauge(
+            "cache_bytes",
+            sum(e.size_bytes for e in self._entries.values()))
+        self.metrics.set_gauge("cache_entries", len(self._entries))

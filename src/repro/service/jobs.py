@@ -1,0 +1,151 @@
+"""Job model for the conversion service.
+
+A :class:`Job` is one unit of work submitted to the service: a full or
+partial conversion, or a standalone preprocessing run.  Jobs move
+through a small state machine::
+
+    QUEUED -> RUNNING -> DONE
+                      -> FAILED      (after exhausting retries)
+                      -> QUEUED      (retry with backoff)
+    QUEUED/RUNNING -> CANCELLED
+
+State transitions are validated centrally (:meth:`Job.transition`) so a
+scheduler bug cannot silently resurrect a finished job.  The job object
+itself is passive — the scheduler owns the locking discipline; callers
+outside the service read jobs only through :meth:`Job.to_dict`
+snapshots or the :attr:`Job.done` event.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServiceError
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of a service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the state admits no further transitions."""
+        return self in (JobState.DONE, JobState.FAILED,
+                        JobState.CANCELLED)
+
+
+#: Allowed (from, to) state transitions.
+_TRANSITIONS: frozenset[tuple[JobState, JobState]] = frozenset({
+    (JobState.QUEUED, JobState.RUNNING),
+    (JobState.QUEUED, JobState.CANCELLED),
+    (JobState.RUNNING, JobState.DONE),
+    (JobState.RUNNING, JobState.FAILED),
+    (JobState.RUNNING, JobState.CANCELLED),
+    (JobState.RUNNING, JobState.QUEUED),  # retry re-queue
+})
+
+_job_counter = itertools.count(1)
+
+
+def next_job_id() -> str:
+    """Monotonic process-local job id (``job-000001``, ...)."""
+    return f"job-{next(_job_counter):06d}"
+
+
+@dataclass
+class Job:
+    """One unit of service work plus its scheduling policy.
+
+    Attributes
+    ----------
+    kind:
+        Work type dispatched by the service runner (``convert``,
+        ``region``, ``preprocess``).
+    params:
+        Kind-specific parameters (input path, target, out dir, ...).
+    priority:
+        Higher values are scheduled first among ready jobs; ties are
+        FIFO by submission order.
+    timeout:
+        Per-attempt wall-clock limit in seconds (``None`` = unlimited).
+    max_retries:
+        Extra attempts allowed after the first one fails or times out.
+    backoff:
+        Base retry delay; attempt ``k`` waits ``backoff * 2**(k-1)``.
+    """
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    timeout: float | None = None
+    max_retries: int = 0
+    backoff: float = 0.1
+    job_id: str = field(default_factory=next_job_id)
+
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    result: Any = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    done: threading.Event = field(default_factory=threading.Event,
+                                  repr=False)
+    cancel_requested: threading.Event = field(
+        default_factory=threading.Event, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ServiceError(
+                f"job {self.job_id}: max_retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ServiceError(
+                f"job {self.job_id}: timeout must be positive")
+
+    @property
+    def attempts_left(self) -> int:
+        """Attempts remaining, counting the first run as attempt 1."""
+        return self.max_retries + 1 - self.attempts
+
+    def transition(self, to: JobState) -> None:
+        """Move to state *to*, enforcing the state machine."""
+        if (self.state, to) not in _TRANSITIONS:
+            raise ServiceError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state.value} -> {to.value}")
+        self.state = to
+        if to is JobState.RUNNING and self.started_at is None:
+            self.started_at = time.time()
+        if to.terminal:
+            self.finished_at = time.time()
+            self.done.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self.done.wait(timeout)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot for status queries/protocol."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state.value,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
+            "error": self.error,
+            "result": self.result,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }

@@ -1,0 +1,71 @@
+"""Line-JSON wire protocol between ``repro serve`` and its clients.
+
+One request or response per line: a UTF-8 JSON object terminated by
+``\\n``.  Requests carry an ``op`` field (``submit``, ``status``,
+``cancel``, ``metrics``, ``wait``, ``ping``, ``shutdown``); responses
+carry ``ok`` (bool) plus either the op-specific payload or an
+``error`` string.  The framing is deliberately trivial so any language
+— or ``nc`` in a pinch — can drive the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+from ..errors import ProtocolError
+
+#: Operations the daemon understands.
+OPS = ("submit", "status", "cancel", "metrics", "wait", "ping",
+       "shutdown")
+
+#: Hard cap on one protocol line; a submit request is far smaller.
+MAX_LINE = 1 << 20
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """Serialize one protocol message to a newline-terminated line."""
+    try:
+        return json.dumps(message, separators=(",", ":"),
+                          allow_nan=False).encode("utf-8") + b"\n"
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unserializable message: {exc}") from None
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    """Parse one protocol line into a message dict."""
+    if len(line) > MAX_LINE:
+        raise ProtocolError(f"protocol line exceeds {MAX_LINE} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad protocol line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol message must be a JSON object, got "
+            f"{type(message).__name__}")
+    return message
+
+
+def read_message(stream: BinaryIO) -> dict[str, Any] | None:
+    """Read one message from a socket file; ``None`` on clean EOF."""
+    line = stream.readline(MAX_LINE + 1)
+    if not line:
+        return None
+    return decode(line)
+
+
+def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
+    """Write one message to a socket file and flush it."""
+    stream.write(encode(message))
+    stream.flush()
+
+
+def error_response(message: str) -> dict[str, Any]:
+    """Standard failure envelope."""
+    return {"ok": False, "error": message}
+
+
+def ok_response(**payload: Any) -> dict[str, Any]:
+    """Standard success envelope."""
+    return {"ok": True, **payload}

@@ -1,0 +1,241 @@
+"""Thread-based job scheduler: priority queue + worker pool.
+
+The pool drains a priority queue (higher :attr:`Job.priority` first,
+FIFO among equals) with N worker threads.  Each attempt of a job runs
+on its own thread so a per-job *timeout* can be enforced with
+``join(timeout)``; a timed-out attempt's thread is abandoned (daemon)
+and the job either retries with exponential backoff or fails.  Retries
+are parked in a delay heap and become eligible again at
+``backoff * 2**(attempt-1)`` seconds.
+
+Cancellation is immediate for queued jobs.  For running jobs the
+:attr:`Job.cancel_requested` event is set; the runner may poll it
+cooperatively, and whatever the attempt produces is discarded — the job
+lands in ``CANCELLED`` rather than ``DONE``/``FAILED``.
+
+All queue/state mutation happens under one condition variable; the
+runner itself executes outside the lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable
+
+from ..errors import JobNotFoundError, ServiceError
+from ..runtime.metrics import ServiceMetrics
+from .jobs import Job, JobState
+
+
+class WorkerPool:
+    """Priority-queue scheduler executing jobs on worker threads.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(job) -> result`` callable doing the actual work.  It
+        runs outside the scheduler lock and may raise; the exception
+        text becomes the job error.
+    workers:
+        Number of concurrent worker threads.
+    metrics:
+        Optional shared :class:`ServiceMetrics`; one is created when
+        omitted.
+    """
+
+    def __init__(self, runner: Callable[[Job], Any], workers: int = 2,
+                 metrics: ServiceMetrics | None = None) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers {workers} must be >= 1")
+        self._runner = runner
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._ready: list[tuple[int, int, Job]] = []     # (-prio, seq, job)
+        self._delayed: list[tuple[float, int, Job]] = []  # (due, seq, job)
+        self._jobs: dict[str, Job] = {}
+        self._stopping = False
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission and queries -------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Enqueue *job*; returns it for chaining."""
+        with self._cond:
+            if self._stopping:
+                raise ServiceError("worker pool is shut down")
+            if job.job_id in self._jobs:
+                raise ServiceError(f"duplicate job id {job.job_id}")
+            if job.state is not JobState.QUEUED:
+                raise ServiceError(
+                    f"job {job.job_id} submitted in state "
+                    f"{job.state.value}")
+            self._jobs[job.job_id] = job
+            heapq.heappush(self._ready,
+                           (-job.priority, next(self._seq), job))
+            self.metrics.inc("jobs_submitted")
+            self._update_depth_gauge()
+            self._cond.notify()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """The job named *job_id*, or raise :class:`JobNotFoundError`."""
+        with self._cond:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise JobNotFoundError(f"unknown job id {job_id!r}") \
+                    from None
+
+    def jobs(self) -> list[Job]:
+        """All known jobs in submission order."""
+        with self._cond:
+            return sorted(self._jobs.values(),
+                          key=lambda j: j.submitted_at)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job.
+
+        Queued jobs are cancelled immediately; running jobs get their
+        :attr:`Job.cancel_requested` event set and become ``CANCELLED``
+        when the current attempt returns.  Returns ``False`` when the
+        job had already finished.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"unknown job id {job_id!r}")
+            if job.state.terminal:
+                return False
+            job.cancel_requested.set()
+            if job.state is JobState.QUEUED:
+                self._finish(job, JobState.CANCELLED)
+            return True
+
+    def wait_all(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job is terminal."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        for job in self.jobs():
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            if not job.wait(remaining):
+                return False
+        return True
+
+    def shutdown(self, wait: bool = True,
+                 timeout: float | None = None) -> None:
+        """Stop the workers; queued jobs that never ran stay QUEUED."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout)
+
+    # -- worker internals -------------------------------------------
+
+    def _update_depth_gauge(self) -> None:
+        # Called with the lock held.
+        depth = sum(1 for j in self._jobs.values()
+                    if j.state is JobState.QUEUED)
+        running = sum(1 for j in self._jobs.values()
+                      if j.state is JobState.RUNNING)
+        self.metrics.set_gauge("queue_depth", depth)
+        self.metrics.set_gauge("jobs_running", running)
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        # Called with the lock held; records terminal state + metrics.
+        job.transition(state)
+        self.metrics.inc(f"jobs_{state.value}")
+        self.metrics.observe("job_wall_seconds",
+                             job.finished_at - job.submitted_at)
+        self._update_depth_gauge()
+        self._cond.notify_all()
+
+    def _next_job(self) -> Job | None:
+        """Pop the next runnable job, or ``None`` when shutting down."""
+        with self._cond:
+            while True:
+                now = time.monotonic()
+                while self._delayed and self._delayed[0][0] <= now:
+                    _, _, job = heapq.heappop(self._delayed)
+                    heapq.heappush(self._ready,
+                                   (-job.priority, next(self._seq), job))
+                while self._ready:
+                    _, _, job = heapq.heappop(self._ready)
+                    if job.state is JobState.QUEUED:
+                        job.attempts += 1
+                        job.transition(JobState.RUNNING)
+                        self._update_depth_gauge()
+                        return job
+                    # Cancelled while queued: stale heap entry, skip.
+                if self._stopping:
+                    return None
+                wait = None
+                if self._delayed:
+                    wait = max(0.0, self._delayed[0][0] - now)
+                self._cond.wait(wait)
+
+    def _run_attempt(self, job: Job) -> tuple[Any, BaseException | None,
+                                              bool]:
+        """Run one attempt; returns (result, exception, timed_out)."""
+        box: list[Any] = [None, None]
+
+        def call() -> None:
+            try:
+                box[0] = self._runner(job)
+            except BaseException as exc:  # noqa: BLE001 — reported
+                box[1] = exc
+
+        thread = threading.Thread(target=call, daemon=True,
+                                  name=f"{job.job_id}-attempt"
+                                       f"{job.attempts}")
+        thread.start()
+        thread.join(job.timeout)
+        if thread.is_alive():
+            # The attempt thread is abandoned; it cannot be killed.
+            return None, None, True
+        return box[0], box[1], False
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            result, exc, timed_out = self._run_attempt(job)
+            with self._cond:
+                if job.cancel_requested.is_set():
+                    self._finish(job, JobState.CANCELLED)
+                    continue
+                if timed_out:
+                    self.metrics.inc("jobs_timed_out")
+                    job.error = (f"attempt {job.attempts} timed out "
+                                 f"after {job.timeout:g}s")
+                elif exc is not None:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                else:
+                    job.result = result
+                    job.error = None
+                    self._finish(job, JobState.DONE)
+                    continue
+                if job.attempts_left > 0:
+                    delay = job.backoff * 2 ** (job.attempts - 1)
+                    job.transition(JobState.QUEUED)
+                    self.metrics.inc("jobs_retried")
+                    heapq.heappush(
+                        self._delayed,
+                        (time.monotonic() + delay, next(self._seq), job))
+                    self._update_depth_gauge()
+                    self._cond.notify_all()
+                else:
+                    self._finish(job, JobState.FAILED)

@@ -1,0 +1,392 @@
+"""The conversion service: in-process façade, daemon, and client.
+
+:class:`ConversionService` wires the worker pool, the artifact cache
+and the existing converters into one long-lived object.  Submitting a
+job returns immediately; the scheduler runs it on a worker thread.
+BAM inputs route their sequential preprocessing through the
+content-addressed cache, so repeated full or partial-region
+conversions of the same input skip the preprocessing phase entirely —
+the warm path is an O(1) cache lookup plus the BAIX binary search.
+
+:class:`ServiceDaemon` exposes the façade over a local unix socket
+speaking the line-JSON protocol (:mod:`repro.service.protocol`), and
+:class:`ServiceClient` is the matching blocking client used by the
+``repro submit``/``status``/``cancel`` subcommands.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import socketserver
+import threading
+from typing import Any
+
+from ..core import BamConverter, SamConverter, parse_filter_expr
+from ..core.base import ConversionResult
+from ..errors import JobNotFoundError, ReproError, ServiceError
+from ..formats.baix import default_index_path
+from ..formats.store import store_extension
+from ..runtime.metrics import ServiceMetrics
+from . import protocol
+from .cache import ArtifactCache, CacheEntry
+from .jobs import Job
+from .scheduler import WorkerPool
+
+#: Job kinds the service runner dispatches on.
+JOB_KINDS = ("convert", "region", "preprocess")
+
+
+def _result_dict(result: ConversionResult,
+                 cache_state: str | None) -> dict[str, Any]:
+    """Shrink a ConversionResult to the JSON-safe job result."""
+    return {
+        "target": result.target,
+        "outputs": result.outputs,
+        "records": result.records,
+        "emitted": result.emitted,
+        "nprocs": result.nprocs,
+        "wall_seconds": result.wall_seconds,
+        "cache": cache_state,
+    }
+
+
+class ConversionService:
+    """Long-lived conversion job service (in-process façade).
+
+    Parameters
+    ----------
+    work_dir:
+        Root for service state; the artifact cache lives in
+        ``<work_dir>/cache`` unless *cache_dir* overrides it.
+    workers:
+        Worker threads draining the job queue.
+    cache_max_bytes:
+        LRU size cap for the artifact cache (``None`` = unbounded).
+    """
+
+    def __init__(self, work_dir: str | os.PathLike[str],
+                 workers: int = 2,
+                 cache_dir: str | os.PathLike[str] | None = None,
+                 cache_max_bytes: int | None = None,
+                 metrics: ServiceMetrics | None = None) -> None:
+        self.work_dir = os.fspath(work_dir)
+        os.makedirs(self.work_dir, exist_ok=True)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.cache = ArtifactCache(
+            cache_dir if cache_dir is not None
+            else os.path.join(self.work_dir, "cache"),
+            max_bytes=cache_max_bytes, metrics=self.metrics)
+        self.pool = WorkerPool(self._run_job, workers=workers,
+                               metrics=self.metrics)
+
+    # -- submission API ---------------------------------------------
+
+    def submit(self, kind: str, params: dict[str, Any],
+               priority: int = 0, timeout: float | None = None,
+               max_retries: int = 0, backoff: float = 0.1) -> Job:
+        """Validate and enqueue one job; returns the queued job."""
+        if kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {kind!r}; choose from {JOB_KINDS}")
+        if "input" not in params:
+            raise ServiceError(f"{kind} job needs an 'input' parameter")
+        if kind in ("convert", "region"):
+            for field in ("target", "out_dir"):
+                if field not in params:
+                    raise ServiceError(
+                        f"{kind} job needs a {field!r} parameter")
+        if kind == "region" and "region" not in params:
+            raise ServiceError("region job needs a 'region' parameter")
+        job = Job(kind=kind, params=dict(params), priority=priority,
+                  timeout=timeout, max_retries=max_retries,
+                  backoff=backoff)
+        return self.pool.submit(job)
+
+    def status(self, job_id: str | None = None) -> Any:
+        """One job snapshot, or all of them in submission order."""
+        if job_id is not None:
+            return self.pool.get(job_id).to_dict()
+        return [job.to_dict() for job in self.pool.jobs()]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job (see :meth:`WorkerPool.cancel`)."""
+        return self.pool.cancel(job_id)
+
+    def wait(self, job_id: str,
+             timeout: float | None = None) -> dict[str, Any]:
+        """Block until the job is terminal; returns its snapshot."""
+        job = self.pool.get(job_id)
+        job.wait(timeout)
+        return job.to_dict()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Current service counters/gauges/timers."""
+        return self.metrics.snapshot()
+
+    def close(self) -> None:
+        """Stop the worker pool (queued jobs are left unrun)."""
+        self.pool.shutdown()
+
+    # -- the job runner (executes on worker threads) -----------------
+
+    def _run_job(self, job: Job) -> dict[str, Any]:
+        params = job.params
+        record_filter = parse_filter_expr(params["filter"]) \
+            if params.get("filter") else None
+        nprocs = int(params.get("nprocs", 1))
+        executor = params.get("executor", "simulate")
+        source = os.fspath(params["input"])
+        lowered = source.lower()
+        if job.kind == "preprocess":
+            entry, hit = self._preprocessed(
+                source, compress=bool(params.get("compress", False)))
+            return {"artifacts": entry.files(),
+                    "cache": "hit" if hit else "miss"}
+        if job.kind == "region":
+            store_path, baix_path, cache_state = self._store_for(
+                source, params)
+            result = BamConverter().convert_region(
+                store_path, baix_path, params["region"],
+                params["target"], params["out_dir"], nprocs, executor,
+                mode=params.get("mode", "start"),
+                record_filter=record_filter)
+            return _result_dict(result, cache_state)
+        # kind == "convert"
+        if lowered.endswith(".sam"):
+            result = SamConverter().convert(
+                source, params["target"], params["out_dir"], nprocs,
+                executor, record_filter=record_filter)
+            return _result_dict(result, None)
+        store_path, _, cache_state = self._store_for(source, params)
+        result = BamConverter().convert(
+            store_path, params["target"], params["out_dir"], nprocs,
+            executor, record_filter=record_filter)
+        return _result_dict(result, cache_state)
+
+    def _store_for(self, source: str, params: dict[str, Any],
+                   ) -> tuple[str, str | None, str | None]:
+        """Resolve (store path, index path, cache state) for a job.
+
+        BAMX/BAMZ inputs are already preprocessed — they pass through
+        untouched.  BAM inputs go through the artifact cache: a warm
+        cache returns the stored BAMX/BAIX without re-reading the BAM.
+        """
+        lowered = source.lower()
+        if lowered.endswith((".bamx", ".bamz")):
+            baix = params.get("baix")
+            return source, baix, None
+        if not lowered.endswith(".bam"):
+            raise ServiceError(
+                f"cannot tell the source format of {source!r}; expected "
+                f"a .sam, .bam, .bamx or .bamz file")
+        entry, hit = self._preprocessed(
+            source, compress=bool(params.get("compress", False)))
+        store_path = self._entry_store(entry)
+        mode = params.get("mode", "start")
+        if mode == "overlap":
+            from ..formats.baix2 import default_index_path as baix2_path
+            return store_path, baix2_path(store_path), \
+                "hit" if hit else "miss"
+        return store_path, default_index_path(store_path), \
+            "hit" if hit else "miss"
+
+    def _preprocessed(self, bam_path: str,
+                      compress: bool) -> tuple[CacheEntry, bool]:
+        """Fetch-or-build the preprocessing artifacts for a BAM."""
+        from ..core.bam_converter import preprocess_bam
+        params = {"op": "preprocess_bam", "compress": compress}
+        stem = os.path.splitext(os.path.basename(bam_path))[0]
+
+        def builder(entry_dir: str) -> None:
+            store_path = os.path.join(entry_dir,
+                                      stem + store_extension(compress))
+            metrics = preprocess_bam(bam_path, store_path,
+                                     compress=compress)
+            self.metrics.inc("preprocess_runs")
+            self.metrics.observe("preprocess_seconds",
+                                 metrics.total_seconds)
+
+        return self.cache.get_or_build(bam_path, params, builder)
+
+    @staticmethod
+    def _entry_store(entry: CacheEntry) -> str:
+        """The record-store artifact inside a cache entry."""
+        for path in entry.files():
+            if path.endswith((".bamx", ".bamz")):
+                return path
+        raise ServiceError(
+            f"cache entry {entry.key} holds no record store")
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: request/response loop until EOF."""
+
+    def handle(self) -> None:  # noqa: D102 — socketserver hook
+        while True:
+            try:
+                message = protocol.read_message(self.rfile)
+            except ReproError as exc:
+                protocol.write_message(self.wfile,
+                                       protocol.error_response(str(exc)))
+                return
+            if message is None:
+                return
+            response = self.server.daemon.handle_message(message)  # type: ignore[attr-defined]
+            protocol.write_message(self.wfile, response)
+            if message.get("op") == "shutdown" and response.get("ok"):
+                return
+
+
+class _UnixServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServiceDaemon:
+    """Line-JSON daemon serving a :class:`ConversionService` over a
+    local unix socket."""
+
+    def __init__(self, service: ConversionService,
+                 socket_path: str | os.PathLike[str]) -> None:
+        self.service = service
+        self.socket_path = os.fspath(socket_path)
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._server = _UnixServer(self.socket_path, _ConnectionHandler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    def handle_message(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one protocol request; never raises."""
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return protocol.ok_response(pong=True)
+            if op == "submit":
+                job = self.service.submit(
+                    kind=message.get("kind", "convert"),
+                    params=message.get("params", {}),
+                    priority=int(message.get("priority", 0)),
+                    timeout=message.get("timeout"),
+                    max_retries=int(message.get("max_retries", 0)),
+                    backoff=float(message.get("backoff", 0.1)))
+                return protocol.ok_response(job=job.to_dict())
+            if op == "status":
+                return protocol.ok_response(
+                    jobs=self.service.status(message.get("job_id")))
+            if op == "wait":
+                return protocol.ok_response(job=self.service.wait(
+                    message["job_id"], message.get("timeout")))
+            if op == "cancel":
+                return protocol.ok_response(
+                    cancelled=self.service.cancel(message["job_id"]))
+            if op == "metrics":
+                return protocol.ok_response(
+                    metrics=self.service.metrics_snapshot())
+            if op == "shutdown":
+                threading.Thread(target=self.stop, daemon=True).start()
+                return protocol.ok_response(stopping=True)
+            return protocol.error_response(
+                f"unknown op {op!r}; choose from {protocol.OPS}")
+        except KeyError as exc:
+            return protocol.error_response(
+                f"request is missing field {exc.args[0]!r}")
+        except ReproError as exc:
+            return protocol.error_response(str(exc))
+
+    def start(self) -> None:
+        """Serve on a background thread (returns once listening)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve", daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop`."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting connections and shut the service down."""
+        self._server.shutdown()
+        self._server.server_close()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self.service.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+class ServiceClient:
+    """Blocking line-JSON client for a :class:`ServiceDaemon`."""
+
+    def __init__(self, socket_path: str | os.PathLike[str],
+                 timeout: float | None = None) -> None:
+        self.socket_path = os.fspath(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(self.socket_path)
+        except OSError as exc:
+            self._sock.close()
+            raise ServiceError(
+                f"cannot reach service at {self.socket_path}: "
+                f"{exc}") from None
+        self._stream = self._sock.makefile("rwb")
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request; return the payload or raise on error."""
+        protocol.write_message(self._stream, {"op": op, **fields})
+        response = protocol.read_message(self._stream)
+        if response is None:
+            raise ServiceError("service closed the connection")
+        if not response.get("ok"):
+            error = response.get("error", "unspecified service error")
+            if "unknown job id" in error:
+                raise JobNotFoundError(error)
+            raise ServiceError(error)
+        return response
+
+    def submit(self, kind: str, params: dict[str, Any],
+               priority: int = 0, timeout: float | None = None,
+               max_retries: int = 0) -> dict[str, Any]:
+        """Submit a job; returns its snapshot dict."""
+        return self.request("submit", kind=kind, params=params,
+                            priority=priority, timeout=timeout,
+                            max_retries=max_retries)["job"]
+
+    def status(self, job_id: str | None = None) -> Any:
+        """Snapshot of one job, or of every job."""
+        return self.request("status", job_id=job_id)["jobs"]
+
+    def wait(self, job_id: str,
+             timeout: float | None = None) -> dict[str, Any]:
+        """Block until the job finishes; returns its final snapshot."""
+        return self.request("wait", job_id=job_id, timeout=timeout)["job"]
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; ``False`` if the job already ended."""
+        return self.request("cancel", job_id=job_id)["cancelled"]
+
+    def metrics(self) -> dict[str, Any]:
+        """The service metrics snapshot."""
+        return self.request("metrics")["metrics"]
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        return bool(self.request("ping").get("pong"))
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop."""
+        self.request("shutdown")
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._stream.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

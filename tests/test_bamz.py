@@ -141,7 +141,8 @@ def test_converter_pipeline_over_bamz(workload, tmp_path):
     assert bamz.endswith(".bamz")
     a = converter.convert(bamx, "bed", tmp_path / "ox", nprocs=3)
     b = converter.convert(bamz, "bed", tmp_path / "oz", nprocs=3)
-    cat = lambda res: b"".join(open(p, "rb").read() for p in res.outputs)
+    def cat(res):
+        return b"".join(open(p, "rb").read() for p in res.outputs)
     assert cat(a) == cat(b)
     ra = converter.convert_region(bamx, baix_x, "chr1:1-20000", "sam",
                                   tmp_path / "rx", nprocs=2)

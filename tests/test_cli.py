@@ -38,6 +38,23 @@ def test_simulate_bad_chromosome_spec(tmp_path):
                 "--chromosomes", "nolength"]) == 1
 
 
+def test_simulate_zero_length_chromosome_rejected(tmp_path, capsys):
+    # "chr1:0" passes isdigit() but must not produce a degenerate
+    # zero-length genome downstream.
+    assert run(["simulate", str(tmp_path / "x.sam"),
+                "--chromosomes", "chr1:0"]) == 1
+    assert "bad chromosome spec 'chr1:0'" in capsys.readouterr().err
+
+
+def test_parse_chroms_zero_length_raises():
+    from repro.cli import _parse_chroms
+    from repro.errors import ReproError
+    assert _parse_chroms("chr1:10,chr2:5") == [("chr1", 10),
+                                               ("chr2", 5)]
+    with pytest.raises(ReproError, match="chr2:0"):
+        _parse_chroms("chr1:10,chr2:0")
+
+
 def test_convert_sam(sim_sam, tmp_path, capsys):
     out = tmp_path / "out"
     assert run(["convert", str(sim_sam), "--target", "bed",
@@ -183,6 +200,65 @@ def test_peaks_subcommand(sim_sam, tmp_path, capsys):
     assert "selected p_t=" in out
     from repro.formats.bed import read_bed
     read_bed(bed)  # parses cleanly
+
+
+def test_convert_reuses_supplied_artifacts(tmp_path, capsys):
+    bam = tmp_path / "s.bam"
+    run(["simulate", str(bam), "--templates", "25"])
+    work = tmp_path / "w"
+    assert run(["preprocess", str(bam), "--work-dir", str(work)]) == 0
+    (bamx,) = sorted(work.glob("*.bamx"))
+    capsys.readouterr()
+    out = tmp_path / "out"
+    assert run(["convert", str(bam), "--target", "bed",
+                "--out-dir", str(out), "--bamx", str(bamx)]) == 0
+    captured = capsys.readouterr().out
+    assert "reusing preprocessing artifacts" in captured
+    assert "preprocessed to" not in captured
+
+
+@pytest.fixture()
+def service_socket(tmp_path):
+    from repro.service import ConversionService, ServiceDaemon
+    service = ConversionService(tmp_path / "svc", workers=1)
+    daemon = ServiceDaemon(service, tmp_path / "repro.sock")
+    daemon.start()
+    yield str(daemon.socket_path)
+    daemon.stop()
+
+
+def test_service_cli_flow(service_socket, sim_sam, tmp_path, capsys):
+    out = tmp_path / "out"
+    assert run(["submit", str(sim_sam), "--socket", service_socket,
+                "--target", "bed", "--out-dir", str(out),
+                "--wait"]) == 0
+    captured = capsys.readouterr().out
+    assert "submitted job-" in captured
+    assert "done" in captured
+    assert list(out.glob("*.bed"))
+
+    assert run(["status", "--socket", service_socket]) == 0
+    assert "done" in capsys.readouterr().out
+    assert run(["status", "--socket", service_socket,
+                "--metrics"]) == 0
+    metrics_out = capsys.readouterr().out
+    assert "jobs_submitted" in metrics_out and "jobs_done" in metrics_out
+
+
+def test_service_cli_cancel_finished_job(service_socket, sim_sam,
+                                         tmp_path, capsys):
+    assert run(["submit", str(sim_sam), "--socket", service_socket,
+                "--target", "sam", "--out-dir", str(tmp_path / "o"),
+                "--wait"]) == 0
+    job_id = capsys.readouterr().out.split()[1]
+    assert run(["cancel", job_id, "--socket", service_socket]) == 1
+    assert "had already finished" in capsys.readouterr().out
+
+
+def test_submit_unreachable_socket(tmp_path, sim_sam):
+    assert run(["submit", str(sim_sam), "--socket",
+                str(tmp_path / "no.sock"), "--target", "bed",
+                "--out-dir", str(tmp_path / "o")]) == 1
 
 
 def test_preprocess_compress_flag(tmp_path, capsys):

@@ -1,6 +1,5 @@
 """Tests for the flagstat tool."""
 
-import pytest
 
 from repro.formats.sam import parse_alignment
 from repro.tools.flagstat import FlagStats, flagstat, flagstat_parallel, \

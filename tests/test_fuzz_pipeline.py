@@ -3,7 +3,6 @@ full converter stack with random rank counts."""
 
 import tempfile
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

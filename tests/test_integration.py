@@ -9,7 +9,7 @@ from repro.core import BamConverter, PreprocSamConverter, SamConverter, \
     convert_bam_direct
 from repro.formats.bam import write_bam
 from repro.formats.sam import read_sam
-from repro.simdata import build_histogram, build_sam_dataset, \
+from repro.simdata import build_sam_dataset, \
     build_simulations
 from repro.stats import fdr_parallel, fdr_vectorized, \
     histogram_from_records, nlmeans, nlmeans_parallel

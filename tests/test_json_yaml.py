@@ -6,9 +6,8 @@ from hypothesis import strategies as st
 
 from repro.errors import FormatError
 from repro.formats import json_fmt, yaml_fmt
-from repro.formats.record import UNMAPPED_POS, AlignmentRecord
+from repro.formats.record import UNMAPPED_POS
 from repro.formats.sam import parse_alignment
-from repro.formats.tags import Tag
 
 LINE = ("frag7\t99\tchr1\t1000\t60\t10M\t=\t1200\t290\t"
         "ACGTACGTAC\tIIIIIIIIII\tNM:i:1\tXH:H:BEEF\tXB:B:c,1,-2")

@@ -102,3 +102,47 @@ def test_speedup_curve_table():
     assert "4.00" in table
     point = curve.points[1]
     assert point.efficiency == pytest.approx(1.0)
+
+
+def test_service_metrics_counters_gauges_timers():
+    from repro.runtime.metrics import ServiceMetrics
+    metrics = ServiceMetrics()
+    metrics.inc("jobs_submitted")
+    metrics.inc("jobs_submitted", 2)
+    metrics.set_gauge("queue_depth", 4)
+    metrics.add_gauge("queue_depth", -1)
+    metrics.observe("job_wall_seconds", 2.0)
+    metrics.observe("job_wall_seconds", 4.0)
+    assert metrics.counter("jobs_submitted") == 3
+    assert metrics.counter("never_touched") == 0
+    assert metrics.gauge("queue_depth") == 3
+    snap = metrics.snapshot()
+    assert snap["counters"]["jobs_submitted"] == 3
+    timer = snap["timers"]["job_wall_seconds"]
+    assert timer["count"] == 2
+    assert timer["mean_seconds"] == pytest.approx(3.0)
+    report = metrics.format_report()
+    assert "jobs_submitted" in report and "queue_depth" in report
+
+
+def test_service_metrics_thread_safety():
+    import threading
+
+    from repro.runtime.metrics import ServiceMetrics
+    metrics = ServiceMetrics()
+
+    def spin():
+        for _ in range(500):
+            metrics.inc("hits")
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert metrics.counter("hits") == 4000
+
+
+def test_format_metrics_snapshot_empty():
+    from repro.runtime.metrics import format_metrics_snapshot
+    assert format_metrics_snapshot({}) == "(no metrics recorded)"

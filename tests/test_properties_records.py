@@ -3,7 +3,6 @@ identically through SAM text, BAM binary, BAMX and BAMZ."""
 
 import tempfile
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,502 @@
+"""Tests for the conversion job service: job lifecycle, scheduler,
+artifact cache, end-to-end byte equivalence with the batch CLI, and the
+line-JSON daemon protocol."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobNotFoundError, ServiceError
+from repro.service import ArtifactCache, ConversionService, Job, \
+    JobState, ServiceClient, ServiceDaemon, WorkerPool, cache_key
+
+
+def wait_terminal(job: Job, timeout: float = 30.0) -> Job:
+    assert job.wait(timeout), f"{job.job_id} not terminal in {timeout}s"
+    return job
+
+
+# ---------------------------------------------------------------------
+# job model
+
+
+def test_job_transition_rules():
+    job = Job(kind="convert")
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.DONE)
+    assert job.done.is_set() and job.state.terminal
+
+
+def test_job_illegal_transition():
+    job = Job(kind="convert")
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.DONE)
+    with pytest.raises(ServiceError, match="illegal transition"):
+        job.transition(JobState.RUNNING)
+
+
+def test_job_bad_policy_rejected():
+    with pytest.raises(ServiceError, match="max_retries"):
+        Job(kind="convert", max_retries=-1)
+    with pytest.raises(ServiceError, match="timeout"):
+        Job(kind="convert", timeout=0)
+
+
+# ---------------------------------------------------------------------
+# scheduler / worker pool lifecycle
+
+
+def test_pool_success():
+    pool = WorkerPool(lambda job: job.params["x"] * 2, workers=2)
+    try:
+        job = wait_terminal(pool.submit(Job(kind="k", params={"x": 21})))
+        assert job.state is JobState.DONE
+        assert job.result == 42 and job.attempts == 1
+        assert pool.metrics.counter("jobs_done") == 1
+    finally:
+        pool.shutdown()
+
+
+def test_pool_timeout_fails_job():
+    release = threading.Event()
+    pool = WorkerPool(lambda job: release.wait(10), workers=1)
+    try:
+        job = pool.submit(Job(kind="k", timeout=0.2))
+        wait_terminal(job)
+        assert job.state is JobState.FAILED
+        assert "timed out" in job.error
+        assert pool.metrics.counter("jobs_timed_out") == 1
+    finally:
+        release.set()
+        pool.shutdown()
+
+
+def test_pool_retry_then_fail():
+    pool = WorkerPool(lambda job: 1 / 0, workers=1)
+    try:
+        job = pool.submit(Job(kind="k", max_retries=2, backoff=0.01))
+        wait_terminal(job)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 3
+        assert "ZeroDivisionError" in job.error
+        assert pool.metrics.counter("jobs_retried") == 2
+        assert pool.metrics.counter("jobs_failed") == 1
+    finally:
+        pool.shutdown()
+
+
+def test_pool_retry_then_succeed():
+    def flaky(job: Job):
+        if job.attempts < 3:
+            raise RuntimeError("transient")
+        return "recovered"
+
+    pool = WorkerPool(flaky, workers=1)
+    try:
+        job = pool.submit(Job(kind="k", max_retries=3, backoff=0.01))
+        wait_terminal(job)
+        assert job.state is JobState.DONE
+        assert job.result == "recovered" and job.attempts == 3
+    finally:
+        pool.shutdown()
+
+
+def test_pool_cancel_queued_job():
+    gate = threading.Event()
+    pool = WorkerPool(lambda job: gate.wait(10), workers=1)
+    try:
+        blocker = pool.submit(Job(kind="k"))
+        queued = pool.submit(Job(kind="k"))
+        assert pool.cancel(queued.job_id) is True
+        wait_terminal(queued, 5)
+        assert queued.state is JobState.CANCELLED
+        assert queued.attempts == 0
+        gate.set()
+        wait_terminal(blocker)
+        assert blocker.state is JobState.DONE
+        assert pool.metrics.counter("jobs_cancelled") == 1
+    finally:
+        gate.set()
+        pool.shutdown()
+
+
+def test_pool_cancel_running_job():
+    started = threading.Event()
+
+    def runner(job: Job):
+        started.set()
+        while not job.cancel_requested.is_set():
+            time.sleep(0.01)
+        return "ignored"
+
+    pool = WorkerPool(runner, workers=1)
+    try:
+        job = pool.submit(Job(kind="k"))
+        assert started.wait(5)
+        assert pool.cancel(job.job_id) is True
+        wait_terminal(job)
+        assert job.state is JobState.CANCELLED
+        assert job.result is None
+    finally:
+        pool.shutdown()
+
+
+def test_pool_cancel_finished_job_returns_false():
+    pool = WorkerPool(lambda job: None, workers=1)
+    try:
+        job = wait_terminal(pool.submit(Job(kind="k")))
+        assert pool.cancel(job.job_id) is False
+        with pytest.raises(JobNotFoundError):
+            pool.cancel("job-999999")
+    finally:
+        pool.shutdown()
+
+
+def test_pool_priority_order():
+    order: list[str] = []
+    gate = threading.Event()
+
+    def runner(job: Job):
+        if job.params.get("blocker"):
+            gate.wait(10)
+        else:
+            order.append(job.params["tag"])
+
+    pool = WorkerPool(runner, workers=1)
+    try:
+        pool.submit(Job(kind="k", params={"blocker": True}))
+        time.sleep(0.05)  # let the blocker occupy the worker
+        low = pool.submit(Job(kind="k", params={"tag": "low"},
+                              priority=0))
+        high = pool.submit(Job(kind="k", params={"tag": "high"},
+                               priority=5))
+        mid = pool.submit(Job(kind="k", params={"tag": "mid"},
+                              priority=1))
+        gate.set()
+        for job in (low, high, mid):
+            wait_terminal(job)
+        assert order == ["high", "mid", "low"]
+    finally:
+        gate.set()
+        pool.shutdown()
+
+
+def test_pool_queue_depth_gauge_and_duplicate_submit():
+    gate = threading.Event()
+    pool = WorkerPool(lambda job: gate.wait(10), workers=1)
+    try:
+        first = pool.submit(Job(kind="k"))
+        time.sleep(0.05)
+        pool.submit(Job(kind="k"))
+        assert pool.metrics.gauge("queue_depth") == 1
+        assert pool.metrics.gauge("jobs_running") == 1
+        with pytest.raises(ServiceError, match="duplicate job id"):
+            pool.submit(first)
+    finally:
+        gate.set()
+        pool.shutdown()
+
+
+# ---------------------------------------------------------------------
+# artifact cache
+
+
+def write_input(path, data: bytes) -> str:
+    path.write_bytes(data)
+    return str(path)
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    src = write_input(tmp_path / "in.bam", b"payload")
+    builds = []
+
+    def builder(entry_dir: str) -> None:
+        builds.append(entry_dir)
+        with open(os.path.join(entry_dir, "a.bamx"), "wb") as fh:
+            fh.write(b"x" * 64)
+
+    entry1, hit1 = cache.get_or_build(src, {"compress": False}, builder)
+    entry2, hit2 = cache.get_or_build(src, {"compress": False}, builder)
+    assert (hit1, hit2) == (False, True)
+    assert len(builds) == 1
+    assert entry1.key == entry2.key
+    assert cache.metrics.counter("cache_hits") == 1
+    assert cache.metrics.counter("cache_misses") == 1
+
+
+def test_cache_key_depends_on_content_and_params(tmp_path):
+    a = write_input(tmp_path / "a.bam", b"AAAA")
+    b = write_input(tmp_path / "b.bam", b"AAAA")
+    c = write_input(tmp_path / "c.bam", b"BBBB")
+    assert cache_key(a, {"z": 1}) == cache_key(b, {"z": 1})
+    assert cache_key(a, {"z": 1}) != cache_key(a, {"z": 2})
+    assert cache_key(a, {"z": 1}) != cache_key(c, {"z": 1})
+
+
+def test_cache_lru_eviction(tmp_path):
+    def builder(entry_dir: str) -> None:
+        with open(os.path.join(entry_dir, "blob"), "wb") as fh:
+            fh.write(b"x" * 1000)
+
+    cache = ArtifactCache(tmp_path / "cache", max_bytes=2600)
+    srcs = [write_input(tmp_path / f"in{i}.bam", bytes([i]) * 8)
+            for i in range(3)]
+    for src in srcs:
+        cache.get_or_build(src, {}, builder)
+    # Three ~1 KiB entries exceed the cap: the oldest one is evicted.
+    assert cache.metrics.counter("cache_evictions") == 1
+    assert cache.lookup(srcs[0], {}) is None
+    assert cache.lookup(srcs[1], {}) is not None
+    assert cache.lookup(srcs[2], {}) is not None
+    # Touch entry 1, then add a fourth: entry 2 is now the LRU victim.
+    cache.get_or_build(srcs[1], {}, builder)
+    src3 = write_input(tmp_path / "in3.bam", b"\x09" * 8)
+    cache.get_or_build(src3, {}, builder)
+    assert cache.lookup(srcs[2], {}) is None
+    assert cache.lookup(srcs[1], {}) is not None
+
+
+def test_cache_concurrent_build_runs_once(tmp_path):
+    src = write_input(tmp_path / "in.bam", b"shared")
+    cache = ArtifactCache(tmp_path / "cache")
+    builds = []
+    build_lock = threading.Lock()
+
+    def builder(entry_dir: str) -> None:
+        with build_lock:
+            builds.append(entry_dir)
+        time.sleep(0.05)
+        with open(os.path.join(entry_dir, "a.bamx"), "wb") as fh:
+            fh.write(b"y" * 16)
+
+    results = []
+
+    def worker() -> None:
+        results.append(cache.get_or_build(src, {}, builder))
+
+    threads = [threading.Thread(target=worker) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(builds) == 1
+    assert sum(1 for _, hit in results if not hit) == 1
+    keys = {entry.key for entry, _ in results}
+    assert len(keys) == 1
+
+
+def test_cache_survives_restart(tmp_path):
+    src = write_input(tmp_path / "in.bam", b"persist")
+
+    def builder(entry_dir: str) -> None:
+        with open(os.path.join(entry_dir, "a.bamx"), "wb") as fh:
+            fh.write(b"z" * 32)
+
+    first = ArtifactCache(tmp_path / "cache")
+    first.get_or_build(src, {}, builder)
+    reopened = ArtifactCache(tmp_path / "cache")
+    entry, hit = reopened.get_or_build(
+        src, {}, lambda d: pytest.fail("must not rebuild"))
+    assert hit is True
+    assert entry.files() and entry.files()[0].endswith("a.bamx")
+
+
+# ---------------------------------------------------------------------
+# conversion service end to end
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = ConversionService(tmp_path / "svc", workers=2)
+    yield svc
+    svc.close()
+
+
+def part_bytes(out_dir) -> dict[str, bytes]:
+    """{part file name: content} for comparing conversion outputs."""
+    return {name: open(os.path.join(out_dir, name), "rb").read()
+            for name in sorted(os.listdir(out_dir))
+            if ".part" in name}
+
+
+def test_service_validates_submissions(service, bam_file):
+    with pytest.raises(ServiceError, match="unknown job kind"):
+        service.submit("frobnicate", {"input": bam_file})
+    with pytest.raises(ServiceError, match="'input'"):
+        service.submit("convert", {})
+    with pytest.raises(ServiceError, match="'region'"):
+        service.submit("region", {"input": bam_file, "target": "bed",
+                                  "out_dir": "/tmp/x"})
+    with pytest.raises(JobNotFoundError):
+        service.status("job-999999")
+
+
+def test_service_convert_matches_batch_cli(service, bam_file, tmp_path):
+    from repro.cli import main
+    cli_out = tmp_path / "cli-out"
+    assert main(["convert", bam_file, "--target", "sam",
+                 "--out-dir", str(cli_out), "--work-dir",
+                 str(tmp_path / "cli-work"), "--nprocs", "2"]) == 0
+    svc_out = tmp_path / "svc-out"
+    job = service.submit("convert", {"input": bam_file, "target": "sam",
+                                     "out_dir": str(svc_out),
+                                     "nprocs": 2})
+    snap = service.wait(job.job_id, timeout=60)
+    assert snap["state"] == "done", snap["error"]
+    assert snap["result"]["cache"] == "miss"
+    cli_parts = part_bytes(cli_out)
+    svc_parts = part_bytes(svc_out)
+    assert cli_parts.keys() == svc_parts.keys()
+    assert cli_parts == svc_parts
+
+
+def test_warm_cache_region_skips_preprocessing(service, bam_file,
+                                               tmp_path):
+    """Acceptance: a warm-cache partial-region job must not re-run the
+    sequential preprocessing phase (asserted via metrics counters)."""
+    first = service.submit("region", {
+        "input": bam_file, "region": "chr1:1-30000", "target": "bed",
+        "out_dir": str(tmp_path / "r1")})
+    snap = service.wait(first.job_id, timeout=60)
+    assert snap["state"] == "done", snap["error"]
+    assert snap["result"]["cache"] == "miss"
+    assert service.metrics.counter("preprocess_runs") == 1
+
+    second = service.submit("region", {
+        "input": bam_file, "region": "chr1:1-30000", "target": "bed",
+        "out_dir": str(tmp_path / "r2")})
+    snap2 = service.wait(second.job_id, timeout=60)
+    assert snap2["state"] == "done", snap2["error"]
+    assert snap2["result"]["cache"] == "hit"
+    # The preprocessing counter did not move: warm path skipped it.
+    assert service.metrics.counter("preprocess_runs") == 1
+    assert service.metrics.counter("cache_hits") >= 1
+    assert part_bytes(tmp_path / "r1") == part_bytes(tmp_path / "r2")
+
+
+def test_region_matches_batch_cli(service, bam_file, tmp_path):
+    from repro.cli import main
+    work = tmp_path / "work"
+    assert main(["preprocess", bam_file, "--work-dir", str(work)]) == 0
+    (bamx,) = sorted(str(p) for p in work.glob("*.bamx"))
+    cli_out = tmp_path / "cli-region"
+    assert main(["region", bamx, "--region", "chr1:1-30000",
+                 "--target", "bed", "--out-dir", str(cli_out),
+                 "--nprocs", "2"]) == 0
+    job = service.submit("region", {
+        "input": bam_file, "region": "chr1:1-30000", "target": "bed",
+        "out_dir": str(tmp_path / "svc-region"), "nprocs": 2})
+    snap = service.wait(job.job_id, timeout=60)
+    assert snap["state"] == "done", snap["error"]
+    assert part_bytes(cli_out) == part_bytes(tmp_path / "svc-region")
+
+
+def test_concurrent_submitters_byte_identical(service, bam_file,
+                                              tmp_path):
+    """Many threads submitting the same work must share one
+    preprocessing run and all produce identical bytes."""
+    n = 5
+    jobs: list = [None] * n
+
+    def submitter(i: int) -> None:
+        jobs[i] = service.submit("region", {
+            "input": bam_file, "region": "chr2:1-20000",
+            "target": "bedgraph",
+            "out_dir": str(tmp_path / f"out{i}")})
+
+    threads = [threading.Thread(target=submitter, args=(i,))
+               for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snaps = [service.wait(job.job_id, timeout=120) for job in jobs]
+    assert all(s["state"] == "done" for s in snaps), snaps
+    assert service.metrics.counter("preprocess_runs") == 1
+    reference = part_bytes(tmp_path / "out0")
+    assert reference
+    for i in range(1, n):
+        assert part_bytes(tmp_path / f"out{i}") == reference
+
+
+def test_service_preprocess_job_warms_cache(service, bam_file,
+                                            tmp_path):
+    job = service.submit("preprocess", {"input": bam_file})
+    snap = service.wait(job.job_id, timeout=60)
+    assert snap["state"] == "done", snap["error"]
+    assert snap["result"]["cache"] == "miss"
+    assert any(p.endswith(".bamx") for p in snap["result"]["artifacts"])
+    follow = service.submit("convert", {
+        "input": bam_file, "target": "bed",
+        "out_dir": str(tmp_path / "out")})
+    snap2 = service.wait(follow.job_id, timeout=60)
+    assert snap2["result"]["cache"] == "hit"
+    assert service.metrics.counter("preprocess_runs") == 1
+
+
+# ---------------------------------------------------------------------
+# daemon + protocol
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    svc = ConversionService(tmp_path / "svc", workers=2)
+    sock = str(tmp_path / "repro.sock")
+    d = ServiceDaemon(svc, sock)
+    d.start()
+    yield d
+    d.stop()
+
+
+def test_daemon_roundtrip(daemon, bam_file, tmp_path):
+    with ServiceClient(daemon.socket_path) as client:
+        assert client.ping()
+        job = client.submit("convert", {
+            "input": bam_file, "target": "bed",
+            "out_dir": str(tmp_path / "out")})
+        assert job["state"] in ("queued", "running")
+        final = client.wait(job["job_id"], timeout=60)
+        assert final["state"] == "done"
+        assert final["result"]["records"] > 0
+        all_jobs = client.status()
+        assert [j["job_id"] for j in all_jobs] == [job["job_id"]]
+        metrics = client.metrics()
+        assert metrics["counters"]["jobs_done"] == 1
+        assert client.cancel(job["job_id"]) is False
+
+
+def test_daemon_error_paths(daemon):
+    with ServiceClient(daemon.socket_path) as client:
+        with pytest.raises(ServiceError, match="unknown op"):
+            client.request("explode")
+        with pytest.raises(JobNotFoundError):
+            client.status("job-424242")
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            client.submit("nope", {"input": "x"})
+        with pytest.raises(ServiceError, match="missing field"):
+            client.request("wait")
+
+
+def test_daemon_rejects_malformed_line(daemon):
+    import socket as socketlib
+    sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    sock.connect(daemon.socket_path)
+    try:
+        sock.sendall(b"this is not json\n")
+        data = sock.makefile("rb").readline()
+        import json
+        response = json.loads(data)
+        assert response["ok"] is False
+        assert "bad protocol line" in response["error"]
+    finally:
+        sock.close()
+
+
+def test_client_connection_refused(tmp_path):
+    with pytest.raises(ServiceError, match="cannot reach service"):
+        ServiceClient(str(tmp_path / "nothing.sock"))

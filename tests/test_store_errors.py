@@ -1,0 +1,37 @@
+"""Error-path coverage for :func:`repro.formats.store.open_record_store`:
+files that are neither BAMX nor BAMZ must raise
+:class:`BamxFormatError` naming the offending path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BamxFormatError
+from repro.formats import bamx
+from repro.formats.store import open_record_store
+
+
+def test_truncated_file_shorter_than_magic(tmp_path):
+    path = tmp_path / "short.bamx"
+    path.write_bytes(bamx.MAGIC[:2])
+    with pytest.raises(BamxFormatError) as excinfo:
+        open_record_store(path)
+    assert str(path) in str(excinfo.value)
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.bamx"
+    path.write_bytes(b"")
+    with pytest.raises(BamxFormatError) as excinfo:
+        open_record_store(path)
+    assert str(path) in str(excinfo.value)
+
+
+def test_unknown_magic_bytes(tmp_path):
+    path = tmp_path / "alien.bamx"
+    # Long enough to pass both the BAMX magic read and the 18-byte
+    # BGZF header sniff, but matching neither format.
+    path.write_bytes(b"NOTAFORMAT" * 8)
+    with pytest.raises(BamxFormatError) as excinfo:
+        open_record_store(path)
+    assert str(path) in str(excinfo.value)
