@@ -15,15 +15,16 @@ from repro.core import BamConverter
 from repro.runtime.metrics import SpeedupCurve
 
 from .common import CONVERSION_CORES, bam_dataset, best_of, \
-    dataset_dir, report, sequential_reference, speedup_curve
+    dataset_dir, maybe_trace, report, sequential_reference, speedup_curve
 
 
 @functools.lru_cache(maxsize=None)
 def preprocessed_bamx() -> str:
     """Preprocess the bench BAM once (shared with the Fig. 8 bench)."""
     converter = BamConverter()
-    bamx, _, _ = converter.preprocess(bam_dataset(),
-                                      os.path.join(dataset_dir(), "pp"))
+    with maybe_trace("fig7_preprocess"):
+        bamx, _, _ = converter.preprocess(
+            bam_dataset(), os.path.join(dataset_dir(), "pp"))
     return bamx
 
 

@@ -18,6 +18,7 @@ Results are printed and appended to ``benchmarks/results/<name>.txt``.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import os
 import tempfile
@@ -100,6 +101,37 @@ def best_of(run, repeats: int = 2,
             best, best_time = metrics, t
     assert best is not None
     return best
+
+
+@contextlib.contextmanager
+def maybe_trace(name: str):
+    """Trace one bench section when ``REPRO_BENCH_TRACE_DIR`` is set.
+
+    With the variable unset this is a no-op, so timing-sensitive bench
+    loops pay nothing.  Otherwise the section's spans are written to
+    ``$REPRO_BENCH_TRACE_DIR/<name>.json`` (Chrome trace format) and a
+    tree summary is printed, giving every figure a profile to explain
+    its numbers with.
+    """
+    trace_dir = os.environ.get("REPRO_BENCH_TRACE_DIR")
+    if not trace_dir:
+        yield
+        return
+    from repro.runtime.tracing import Tracer, format_tree, install, \
+        write_trace
+    tracer = Tracer(enabled=True)
+    prev = install(tracer)
+    try:
+        with tracer.span(f"bench.{name}", "bench"):
+            yield
+    finally:
+        install(prev)
+        os.makedirs(trace_dir, exist_ok=True)
+        path = os.path.join(trace_dir, f"{name}.json")
+        spans = tracer.spans()
+        write_trace(spans, path)
+        print(f"[trace] {len(spans)} spans -> {path}")
+        print(format_tree(spans))
 
 
 def report(name: str, text: str) -> None:

@@ -12,6 +12,8 @@ options.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 
 import numpy as np
@@ -330,6 +332,14 @@ def _cmd_status(args: argparse.Namespace) -> int:
     from .runtime.metrics import format_metrics_snapshot
     from .service import ServiceClient
     with ServiceClient(args.socket) as client:
+        if args.trace:
+            from .runtime.tracing import format_tree, spans_from_dicts
+            span_dicts = client.trace(args.trace)
+            if not span_dicts:
+                print(f"no trace recorded for {args.trace}")
+                return 0
+            print(format_tree(spans_from_dicts(span_dicts)))
+            return 0
         if args.metrics:
             print(format_metrics_snapshot(client.metrics()))
             return 0
@@ -568,6 +578,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service unix socket path")
     p.add_argument("--metrics", action="store_true",
                    help="print the service metrics snapshot instead")
+    p.add_argument("--trace", metavar="JOB", default=None,
+                   help="print the span tree recorded for this job")
     p.set_defaults(fn=_cmd_status)
 
     p = sub.add_parser("cancel", help="cancel a queued or running "
@@ -579,7 +591,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("formats", help="list supported formats")
     p.set_defaults(fn=_cmd_formats)
+
+    # Every command can dump a trace of its run; "status" is excluded
+    # because its --trace flag queries a *service job's* trace instead.
+    for name, command_parser in sub.choices.items():
+        if name != "status":
+            command_parser.add_argument(
+                "--trace", metavar="FILE", default=None,
+                help="write a span trace of this run (.json = Chrome "
+                     "trace format, anything else = JSON lines); "
+                     "REPRO_TRACE=FILE does the same")
     return parser
+
+
+@contextlib.contextmanager
+def _command_tracing(args: argparse.Namespace):
+    """Install a tracer around one CLI command when requested.
+
+    The trace path comes from the subcommand's ``--trace FILE`` flag,
+    falling back to the ``REPRO_TRACE`` environment variable; with
+    neither set, the disabled default tracer stays installed and the
+    instrumented code paths cost one predicate per span site.
+    """
+    path = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
+    if not path or args.command == "status":
+        yield
+        return
+    from .runtime.tracing import Tracer, install, write_trace
+    tracer = Tracer(enabled=True)
+    prev = install(tracer)
+    try:
+        with tracer.span(f"cli.{args.command}", "cli"):
+            yield
+    finally:
+        install(prev)
+        spans = tracer.spans()
+        write_trace(spans, path)
+        print(f"trace: {len(spans)} spans -> {path}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -587,7 +635,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.fn(args)
+        with _command_tracing(args):
+            return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -36,6 +36,7 @@ from ..formats.tags import encode_tags
 from ..runtime.buffers import BufferedTextWriter
 from ..runtime.metrics import RankMetrics
 from ..runtime.partition import partition_records
+from ..runtime.tracing import get_tracer
 from .base import ConversionResult, bind_target, emit_records, \
     execute_rank_tasks, finish_rank_metrics, make_output_path
 from .filters import ACCEPT_ALL, RecordFilter
@@ -63,36 +64,43 @@ def preprocess_bam(bam_path: str | os.PathLike[str],
     bamx_path = os.fspath(bamx_path)
     if baix_path is None:
         baix_path = default_index_path(bamx_path)
-    # Pass 1: plan the fixed-field capacities.
-    name_cap = cigar_cap = seq_cap = tag_cap = 0
-    count = 0
-    with BamReader(bam_path) as reader:
-        header = reader.header
-        for record in reader:
-            name_cap = max(name_cap, len(record.qname))
-            cigar_cap = max(cigar_cap, len(record.cigar))
-            if record.seq != "*":
-                seq_cap = max(seq_cap, len(record.seq))
-            tag_cap = max(tag_cap, len(encode_tags(record.tags)))
-            count += 1
-    layout = BamxLayout(name_cap, cigar_cap, seq_cap, tag_cap)
-    # Pass 2: write aligned records and collect index entries.
-    if compress:
-        from ..formats.bamz import BamzWriter
-        writer_ctx = BamzWriter(bamx_path, header, layout, level=level)
-    else:
-        writer_ctx = BamxWriter(bamx_path, header, layout)
-    index_entries = []
-    with BamReader(bam_path) as reader, writer_ctx as writer:
-        for record in reader:
-            index = writer.write(record)
-            if record.rname != "*" and record.pos >= 0:
-                index_entries.append((index, record))
-    BaixIndex.build(index_entries, header).save(baix_path)
-    from ..formats.baix2 import BaixOverlapIndex
-    from ..formats.baix2 import default_index_path as baix2_path
-    BaixOverlapIndex.build(index_entries, header).save(
-        baix2_path(bamx_path))
+    tracer = get_tracer()
+    with tracer.span("preprocess", "bam",
+                     args={"input": os.path.basename(bam_path),
+                           "compress": compress}):
+        # Pass 1: plan the fixed-field capacities.
+        name_cap = cigar_cap = seq_cap = tag_cap = 0
+        count = 0
+        with tracer.span("plan", "bam"), BamReader(bam_path) as reader:
+            header = reader.header
+            for record in reader:
+                name_cap = max(name_cap, len(record.qname))
+                cigar_cap = max(cigar_cap, len(record.cigar))
+                if record.seq != "*":
+                    seq_cap = max(seq_cap, len(record.seq))
+                tag_cap = max(tag_cap, len(encode_tags(record.tags)))
+                count += 1
+        layout = BamxLayout(name_cap, cigar_cap, seq_cap, tag_cap)
+        # Pass 2: write aligned records and collect index entries.
+        if compress:
+            from ..formats.bamz import BamzWriter
+            writer_ctx = BamzWriter(bamx_path, header, layout, level=level)
+        else:
+            writer_ctx = BamxWriter(bamx_path, header, layout)
+        index_entries = []
+        with tracer.span("write", "bam", args={"records": count}), \
+                BamReader(bam_path) as reader, writer_ctx as writer:
+            for record in reader:
+                index = writer.write(record)
+                if record.rname != "*" and record.pos >= 0:
+                    index_entries.append((index, record))
+        with tracer.span("index", "bam",
+                         args={"entries": len(index_entries)}):
+            BaixIndex.build(index_entries, header).save(baix_path)
+            from ..formats.baix2 import BaixOverlapIndex
+            from ..formats.baix2 import default_index_path as baix2_path
+            BaixOverlapIndex.build(index_entries, header).save(
+                baix2_path(bamx_path))
     metrics.records = count
     metrics.bytes_read = 2 * os.path.getsize(bam_path)
     metrics.bytes_written = (os.path.getsize(bamx_path)
@@ -187,6 +195,13 @@ def _bamx_pick_task(spec: BamxPickSpec) -> RankMetrics:
 
 def _write_target(records, target, header: SamHeader, out_path: str,
                   metrics: RankMetrics) -> None:
+    with get_tracer().span("write", "io",
+                           args={"out": os.path.basename(out_path)}):
+        _write_target_inner(records, target, header, out_path, metrics)
+
+
+def _write_target_inner(records, target, header: SamHeader, out_path: str,
+                        metrics: RankMetrics) -> None:
     if target.mode == "binary":
         from ..formats.bam import BamWriter
         writer = BamWriter(out_path, header)
@@ -263,19 +278,24 @@ class BamConverter:
         out_dir = os.fspath(out_dir)
         os.makedirs(out_dir, exist_ok=True)
         t0 = time.perf_counter()
-        with open_record_store(bamx_path) as reader:
-            count = len(reader)
-        target_plugin = get_target(target)
-        stem = os.path.splitext(os.path.basename(bamx_path))[0]
-        specs = [
-            BamxRangeSpec(bamx_path, start, stop, target,
-                          make_output_path(out_dir, stem, rank,
-                                           target_plugin),
-                          record_filter or ACCEPT_ALL)
-            for rank, (start, stop)
-            in enumerate(partition_records(count, nprocs))
-        ]
-        rank_metrics = execute_rank_tasks(_bamx_range_task, specs, executor)
+        tracer = get_tracer()
+        with tracer.span("convert", "bam",
+                         args={"store": os.path.basename(bamx_path),
+                               "target": target, "nprocs": nprocs}):
+            with open_record_store(bamx_path) as reader:
+                count = len(reader)
+            target_plugin = get_target(target)
+            stem = os.path.splitext(os.path.basename(bamx_path))[0]
+            specs = [
+                BamxRangeSpec(bamx_path, start, stop, target,
+                              make_output_path(out_dir, stem, rank,
+                                               target_plugin),
+                              record_filter or ACCEPT_ALL)
+                for rank, (start, stop)
+                in enumerate(partition_records(count, nprocs))
+            ]
+            rank_metrics = execute_rank_tasks(_bamx_range_task, specs,
+                                              executor)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],
@@ -313,38 +333,46 @@ class BamConverter:
             raise ConversionError(
                 f"unknown partial-conversion mode {mode!r}; choose "
                 f"'start' or 'overlap'")
-        with open_record_store(bamx_path) as reader:
-            header = reader.header
-        if isinstance(region, str):
-            region = GenomicRegion.parse(region, header)
-        ref_id = header.ref_id(region.chrom)
-        if mode == "start":
-            if baix_path is None:
-                baix_path = default_index_path(bamx_path)
-            index = BaixIndex.load(baix_path)
-            lo, hi = index.locate(ref_id, region.start, region.end)
-            indices = index.record_indices(lo, hi)
-        else:
-            from ..formats.baix2 import BaixOverlapIndex
-            from ..formats.baix2 import default_index_path as baix2_path
-            if baix_path is None:
-                baix_path = baix2_path(bamx_path)
-            index2 = BaixOverlapIndex.load(baix_path)
-            indices = index2.locate_overlaps(ref_id, region.start,
-                                             region.end)
-        target_plugin = get_target(target)
-        stem = os.path.splitext(os.path.basename(bamx_path))[0]
-        specs = [
-            BamxPickSpec(bamx_path,
-                         tuple(int(i) for i in indices[start:stop]),
-                         target,
-                         make_output_path(out_dir, f"{stem}.region", rank,
-                                          target_plugin),
-                         record_filter or ACCEPT_ALL)
-            for rank, (start, stop)
-            in enumerate(partition_records(len(indices), nprocs))
-        ]
-        rank_metrics = execute_rank_tasks(_bamx_pick_task, specs, executor)
+        tracer = get_tracer()
+        with tracer.span("convert.region", "bam",
+                         args={"store": os.path.basename(bamx_path),
+                               "target": target, "nprocs": nprocs,
+                               "mode": mode}):
+            with open_record_store(bamx_path) as reader:
+                header = reader.header
+            if isinstance(region, str):
+                region = GenomicRegion.parse(region, header)
+            ref_id = header.ref_id(region.chrom)
+            with tracer.span("locate", "bam", args={"mode": mode}):
+                if mode == "start":
+                    if baix_path is None:
+                        baix_path = default_index_path(bamx_path)
+                    index = BaixIndex.load(baix_path)
+                    lo, hi = index.locate(ref_id, region.start, region.end)
+                    indices = index.record_indices(lo, hi)
+                else:
+                    from ..formats.baix2 import BaixOverlapIndex
+                    from ..formats.baix2 import default_index_path \
+                        as baix2_path
+                    if baix_path is None:
+                        baix_path = baix2_path(bamx_path)
+                    index2 = BaixOverlapIndex.load(baix_path)
+                    indices = index2.locate_overlaps(ref_id, region.start,
+                                                     region.end)
+            target_plugin = get_target(target)
+            stem = os.path.splitext(os.path.basename(bamx_path))[0]
+            specs = [
+                BamxPickSpec(bamx_path,
+                             tuple(int(i) for i in indices[start:stop]),
+                             target,
+                             make_output_path(out_dir, f"{stem}.region",
+                                              rank, target_plugin),
+                             record_filter or ACCEPT_ALL)
+                for rank, (start, stop)
+                in enumerate(partition_records(len(indices), nprocs))
+            ]
+            rank_metrics = execute_rank_tasks(_bamx_pick_task, specs,
+                                              executor)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],
@@ -380,50 +408,57 @@ class BamConverter:
         out_dir = os.fspath(out_dir)
         os.makedirs(out_dir, exist_ok=True)
         t0 = time.perf_counter()
-        with open_record_store(bamx_path) as reader:
-            header = reader.header
-        parsed = [GenomicRegion.parse(r, header) if isinstance(r, str)
-                  else r for r in regions]
-        index_lists = []
-        if mode == "start":
-            if baix_path is None:
-                baix_path = default_index_path(bamx_path)
-            index = BaixIndex.load(baix_path)
-            for region in parsed:
-                lo, hi = index.locate(header.ref_id(region.chrom),
-                                      region.start, region.end)
-                index_lists.append(index.record_indices(lo, hi))
-        else:
-            from ..formats.baix2 import BaixOverlapIndex
-            from ..formats.baix2 import default_index_path as baix2_path
-            if baix_path is None:
-                baix_path = baix2_path(bamx_path)
-            index2 = BaixOverlapIndex.load(baix_path)
-            for region in parsed:
-                index_lists.append(index2.locate_overlaps(
-                    header.ref_id(region.chrom), region.start,
-                    region.end))
-        # Union without duplicates, preserving first-seen order.
-        seen: set[int] = set()
-        indices: list[int] = []
-        for index_list in index_lists:
-            for i in index_list:
-                i = int(i)
-                if i not in seen:
-                    seen.add(i)
-                    indices.append(i)
-        target_plugin = get_target(target)
-        stem = os.path.splitext(os.path.basename(bamx_path))[0]
-        specs = [
-            BamxPickSpec(bamx_path, tuple(indices[start:stop]), target,
-                         make_output_path(out_dir, f"{stem}.regions",
-                                          rank, target_plugin),
-                         record_filter or ACCEPT_ALL)
-            for rank, (start, stop)
-            in enumerate(partition_records(len(indices), nprocs))
-        ]
-        rank_metrics = execute_rank_tasks(_bamx_pick_task, specs,
-                                          executor)
+        tracer = get_tracer()
+        with tracer.span("convert.regions", "bam",
+                         args={"store": os.path.basename(bamx_path),
+                               "target": target, "nprocs": nprocs,
+                               "regions": len(regions), "mode": mode}):
+            with open_record_store(bamx_path) as reader:
+                header = reader.header
+            parsed = [GenomicRegion.parse(r, header)
+                      if isinstance(r, str) else r for r in regions]
+            index_lists = []
+            with tracer.span("locate", "bam", args={"mode": mode}):
+                if mode == "start":
+                    if baix_path is None:
+                        baix_path = default_index_path(bamx_path)
+                    index = BaixIndex.load(baix_path)
+                    for region in parsed:
+                        lo, hi = index.locate(header.ref_id(region.chrom),
+                                              region.start, region.end)
+                        index_lists.append(index.record_indices(lo, hi))
+                else:
+                    from ..formats.baix2 import BaixOverlapIndex
+                    from ..formats.baix2 import default_index_path \
+                        as baix2_path
+                    if baix_path is None:
+                        baix_path = baix2_path(bamx_path)
+                    index2 = BaixOverlapIndex.load(baix_path)
+                    for region in parsed:
+                        index_lists.append(index2.locate_overlaps(
+                            header.ref_id(region.chrom), region.start,
+                            region.end))
+            # Union without duplicates, preserving first-seen order.
+            seen: set[int] = set()
+            indices: list[int] = []
+            for index_list in index_lists:
+                for i in index_list:
+                    i = int(i)
+                    if i not in seen:
+                        seen.add(i)
+                        indices.append(i)
+            target_plugin = get_target(target)
+            stem = os.path.splitext(os.path.basename(bamx_path))[0]
+            specs = [
+                BamxPickSpec(bamx_path, tuple(indices[start:stop]), target,
+                             make_output_path(out_dir, f"{stem}.regions",
+                                              rank, target_plugin),
+                             record_filter or ACCEPT_ALL)
+                for rank, (start, stop)
+                in enumerate(partition_records(len(indices), nprocs))
+            ]
+            rank_metrics = execute_rank_tasks(_bamx_pick_task, specs,
+                                              executor)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],
@@ -446,7 +481,10 @@ def convert_bam_direct(bam_path: str | os.PathLike[str], target: str,
     metrics = RankMetrics()
     bam_path = os.fspath(bam_path)
     out_path = os.fspath(out_path)
-    with BamReader(bam_path) as reader:
+    with get_tracer().span("convert.direct", "bam",
+                           args={"input": os.path.basename(bam_path),
+                                 "target": target}), \
+            BamReader(bam_path) as reader:
         target_plugin = bind_target(get_target(target), reader.header)
         metrics.bytes_read += os.path.getsize(bam_path)
         _write_target(iter(reader), target_plugin, reader.header, out_path,

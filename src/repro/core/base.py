@@ -28,6 +28,7 @@ from ..formats.header import SamHeader
 from ..formats.record import AlignmentRecord
 from ..runtime.buffers import BufferedTextWriter
 from ..runtime.metrics import RankMetrics
+from ..runtime.tracing import Tracer, get_tracer
 from .targets import TargetFormat
 
 #: Executors accepted by the converters.
@@ -94,6 +95,10 @@ def execute_rank_tasks(task_fn: Callable[[Any], RankMetrics],
             f"unknown executor {executor!r}; choose from {EXECUTORS}")
     if not specs:
         raise RuntimeLayerError("no rank specs to execute")
+    tracer = get_tracer()
+    if tracer.enabled:
+        return _execute_rank_tasks_traced(task_fn, specs, executor,
+                                          tracer)
     if executor == "simulate" or len(specs) == 1:
         return [task_fn(spec) for spec in specs]
     if executor == "thread":
@@ -102,6 +107,66 @@ def execute_rank_tasks(task_fn: Callable[[Any], RankMetrics],
     ctx = mp.get_context("fork")
     with ctx.Pool(processes=min(len(specs), mp.cpu_count())) as pool:
         return pool.map(task_fn, specs)
+
+
+def _rank_span_call(task_fn: Callable[[Any], RankMetrics],
+                    tracer: Tracer, rank: int, spec: Any,
+                    parent_id: int | None) -> RankMetrics:
+    """Run one rank task under a rank-tagged span of *tracer*.
+
+    *parent_id* re-attaches the rank span to the launching span even
+    when this runs on a pool thread with an empty span stack.
+    """
+    with tracer.activate(), tracer.rank_context(rank), \
+            tracer.span("rank", "rank", rank=rank,
+                        args={"task": task_fn.__name__},
+                        parent_id=parent_id):
+        return task_fn(spec)
+
+
+def _traced_process_rank(payload: tuple) -> tuple:
+    """Child-process entry: record spans locally, return them for
+    gathering (module-level so the fork pool can pickle it)."""
+    task_fn, epoch, rank, spec = payload
+    child = Tracer(enabled=True, epoch=epoch)
+    with child.activate(), child.rank_context(rank), \
+            child.span("rank", "rank", rank=rank,
+                       args={"task": task_fn.__name__}):
+        metrics = task_fn(spec)
+    return metrics, [s.to_dict() for s in child.spans()], rank
+
+
+def _execute_rank_tasks_traced(task_fn: Callable[[Any], RankMetrics],
+                               specs: Sequence[Any], executor: str,
+                               tracer: Tracer) -> list[RankMetrics]:
+    """Traced variant of :func:`execute_rank_tasks`.
+
+    Simulate/thread ranks record straight into the shared tracer (its
+    span stack is per-thread); process ranks record into a child tracer
+    sharing the parent epoch and their spans are gathered to rank 0 via
+    :meth:`Tracer.ingest`.
+    """
+    caller = tracer.current_span()
+    parent_id = caller.span_id if caller is not None else None
+    if executor == "simulate" or len(specs) == 1:
+        return [_rank_span_call(task_fn, tracer, rank, spec, parent_id)
+                for rank, spec in enumerate(specs)]
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=len(specs)) as pool:
+            futures = [pool.submit(_rank_span_call, task_fn, tracer,
+                                   rank, spec, parent_id)
+                       for rank, spec in enumerate(specs)]
+            return [future.result() for future in futures]
+    ctx = mp.get_context("fork")
+    payloads = [(task_fn, tracer.epoch, rank, spec)
+                for rank, spec in enumerate(specs)]
+    with ctx.Pool(processes=min(len(specs), mp.cpu_count())) as pool:
+        gathered = pool.map(_traced_process_rank, payloads)
+    out = []
+    for metrics, span_dicts, rank in gathered:
+        tracer.ingest(span_dicts, rank=rank, parent_id=parent_id)
+        out.append(metrics)
+    return out
 
 
 def emit_records(records: Iterable[AlignmentRecord], target: TargetFormat,

@@ -20,6 +20,7 @@ from ..formats.sam import parse_alignment
 from ..runtime.buffers import BufferedTextWriter, RangeLineReader
 from ..runtime.metrics import RankMetrics
 from ..runtime.partition import Partition, partition_bytes_source
+from ..runtime.tracing import get_tracer
 from .base import ConversionResult, bind_target, emit_records, \
     execute_rank_tasks, finish_rank_metrics, make_output_path
 from .filters import ACCEPT_ALL, RecordFilter
@@ -134,25 +135,32 @@ class SamConverter:
         out_dir = os.fspath(out_dir)
         os.makedirs(out_dir, exist_ok=True)
         t0 = time.perf_counter()
-        header, header_end = scan_header(sam_path)
-        partitions = partition_alignments(sam_path, nprocs, header_end)
-        target_plugin = get_target(target)  # validates the name early
-        stem = os.path.splitext(os.path.basename(sam_path))[0]
-        specs = [
-            SamRankSpec(
-                sam_path=sam_path,
-                start=p.start,
-                end=p.end,
-                target=target,
-                out_path=make_output_path(out_dir, stem, p.rank,
-                                          target_plugin),
-                header_text=header.to_text(),
-                read_chunk=self.read_chunk,
-                record_filter=record_filter or ACCEPT_ALL,
-            )
-            for p in partitions
-        ]
-        rank_metrics = execute_rank_tasks(_sam_rank_task, specs, executor)
+        tracer = get_tracer()
+        with tracer.span("convert", "sam",
+                         args={"input": os.path.basename(sam_path),
+                               "target": target, "nprocs": nprocs}):
+            with tracer.span("partition", "sam"):
+                header, header_end = scan_header(sam_path)
+                partitions = partition_alignments(sam_path, nprocs,
+                                                  header_end)
+            target_plugin = get_target(target)  # validates the name early
+            stem = os.path.splitext(os.path.basename(sam_path))[0]
+            specs = [
+                SamRankSpec(
+                    sam_path=sam_path,
+                    start=p.start,
+                    end=p.end,
+                    target=target,
+                    out_path=make_output_path(out_dir, stem, p.rank,
+                                              target_plugin),
+                    header_text=header.to_text(),
+                    read_chunk=self.read_chunk,
+                    record_filter=record_filter or ACCEPT_ALL,
+                )
+                for p in partitions
+            ]
+            rank_metrics = execute_rank_tasks(_sam_rank_task, specs,
+                                              executor)
         result = ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],

@@ -25,6 +25,7 @@ from ..formats.header import SamHeader
 from ..formats.sam import parse_alignment
 from ..runtime.buffers import RangeLineReader
 from ..runtime.metrics import RankMetrics
+from ..runtime.tracing import get_tracer
 from .base import ConversionResult, execute_rank_tasks, \
     finish_rank_metrics
 from .bam_converter import BamConverter
@@ -53,27 +54,32 @@ def _preprocess_rank_task(spec: PreprocessSpec) -> RankMetrics:
     """
     t0 = time.perf_counter()
     metrics = RankMetrics()
+    tracer = get_tracer()
     header = SamHeader.from_text(spec.header_text)
     reader = RangeLineReader(spec.sam_path, spec.start, spec.end,
                              chunk_size=spec.read_chunk, metrics=metrics)
     records = []
-    for line in reader:
-        if not line or line.startswith("@"):
-            continue
-        records.append(parse_alignment(line))
-    layout = plan_layout(records)
-    with BamxWriter(spec.bamx_path, header, layout) as writer:
+    with tracer.span("parse", "samp"):
+        for line in reader:
+            if not line or line.startswith("@"):
+                continue
+            records.append(parse_alignment(line))
+        layout = plan_layout(records)
+    with tracer.span("write", "samp", args={"records": len(records)}), \
+            BamxWriter(spec.bamx_path, header, layout) as writer:
         index_entries = []
         for record in records:
             index = writer.write(record)
             if record.rname != "*" and record.pos >= 0:
                 index_entries.append((index, record))
     baix_path = default_index_path(spec.bamx_path)
-    BaixIndex.build(index_entries, header).save(baix_path)
-    from ..formats.baix2 import BaixOverlapIndex
-    from ..formats.baix2 import default_index_path as baix2_path
-    BaixOverlapIndex.build(index_entries, header).save(
-        baix2_path(spec.bamx_path))
+    with tracer.span("index", "samp",
+                     args={"entries": len(index_entries)}):
+        BaixIndex.build(index_entries, header).save(baix_path)
+        from ..formats.baix2 import BaixOverlapIndex
+        from ..formats.baix2 import default_index_path as baix2_path
+        BaixOverlapIndex.build(index_entries, header).save(
+            baix2_path(spec.bamx_path))
     metrics.records = len(records)
     metrics.emitted = len(records)
     metrics.bytes_written += (os.path.getsize(spec.bamx_path)
@@ -100,22 +106,29 @@ class PreprocSamConverter:
         sam_path = os.fspath(sam_path)
         work_dir = os.fspath(work_dir)
         os.makedirs(work_dir, exist_ok=True)
-        header, header_end = scan_header(sam_path)
-        partitions = partition_alignments(sam_path, nprocs, header_end)
-        stem = os.path.splitext(os.path.basename(sam_path))[0]
-        specs = [
-            PreprocessSpec(
-                sam_path=sam_path,
-                start=p.start,
-                end=p.end,
-                bamx_path=os.path.join(work_dir,
-                                       f"{stem}.part{p.rank:04d}.bamx"),
-                header_text=header.to_text(),
-                read_chunk=self.read_chunk,
-            )
-            for p in partitions
-        ]
-        metrics = execute_rank_tasks(_preprocess_rank_task, specs, executor)
+        tracer = get_tracer()
+        with tracer.span("preprocess", "samp",
+                         args={"input": os.path.basename(sam_path),
+                               "nprocs": nprocs}):
+            with tracer.span("partition", "samp"):
+                header, header_end = scan_header(sam_path)
+                partitions = partition_alignments(sam_path, nprocs,
+                                                  header_end)
+            stem = os.path.splitext(os.path.basename(sam_path))[0]
+            specs = [
+                PreprocessSpec(
+                    sam_path=sam_path,
+                    start=p.start,
+                    end=p.end,
+                    bamx_path=os.path.join(
+                        work_dir, f"{stem}.part{p.rank:04d}.bamx"),
+                    header_text=header.to_text(),
+                    read_chunk=self.read_chunk,
+                )
+                for p in partitions
+            ]
+            metrics = execute_rank_tasks(_preprocess_rank_task, specs,
+                                         executor)
         return [s.bamx_path for s in specs], metrics
 
     def convert(self, bamx_paths: list[str], target: str,

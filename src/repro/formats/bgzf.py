@@ -20,6 +20,7 @@ import struct
 import zlib
 
 from ..errors import BgzfError
+from ..runtime.tracing import get_tracer
 
 #: Fixed 18-byte BGZF member header prefix (through XLEN), less BSIZE.
 _HEADER = struct.Struct("<4BI2BH2BH")
@@ -137,7 +138,13 @@ class BgzfWriter(io.RawIOBase):
         return len(data)
 
     def _emit(self, payload: bytes) -> None:
-        block = compress_block(payload, self._level)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("compress", "bgzf",
+                             args={"bytes": len(payload)}):
+                block = compress_block(payload, self._level)
+        else:
+            block = compress_block(payload, self._level)
         self._raw.write(block)
         self._coffset += len(block)
 
@@ -201,7 +208,13 @@ class BgzfReader(io.RawIOBase):
             raise BgzfError("truncated BGZF block")
         self._block_start = self._next_start
         self._next_start += total
-        self._block_data = decompress_block(header + body)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("decompress", "bgzf",
+                             args={"bytes": total}):
+                self._block_data = decompress_block(header + body)
+        else:
+            self._block_data = decompress_block(header + body)
         self._within = 0
         if not self._block_data:
             # An empty block is legal mid-stream and mandatory at EOF;

@@ -21,6 +21,7 @@ from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from ..errors import BgzfError
+from ..runtime.tracing import get_tracer
 from .bgzf import EOF_MARKER, MAX_BLOCK_DATA, compress_block, \
     make_virtual_offset
 
@@ -73,8 +74,23 @@ class ThreadedBgzfWriter(io.RawIOBase):
     def _submit(self, payload: bytes) -> None:
         while len(self._pending) >= self._max_pending:
             self._drain_one()
-        self._pending.append(
-            self._pool.submit(compress_block, payload, self._level))
+        tracer = get_tracer()
+        if not tracer.enabled:
+            self._pending.append(
+                self._pool.submit(compress_block, payload, self._level))
+            return
+        # Pool threads have no span stack; re-attach each block span to
+        # the span active at submit time.
+        caller = tracer.current_span()
+        parent_id = caller.span_id if caller is not None else None
+
+        def job(data: bytes = payload, level: int = self._level) -> bytes:
+            with tracer.span("compress", "bgzf",
+                             args={"bytes": len(data), "threaded": True},
+                             parent_id=parent_id):
+                return compress_block(data, level)
+
+        self._pending.append(self._pool.submit(job))
 
     def _drain_one(self) -> None:
         block = self._pending.popleft().result()

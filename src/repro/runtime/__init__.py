@@ -11,10 +11,16 @@ from .metrics import DEFAULT_CLUSTER, ClusterModel, RankMetrics, \
 from .partition import Partition, even_split, partition_bytes, \
     partition_rank_spmd, partition_records, partition_text_file
 from .spmd import BACKENDS, SpmdFailure, run_spmd
+from .tracing import Span, Tracer, format_summary, format_tree, \
+    get_tracer, install, read_jsonl, to_chrome_events, traced, \
+    write_chrome, write_jsonl, write_trace
 
 __all__ = [
     "Communicator", "SerialComm", "ThreadComm",
     "run_spmd", "SpmdFailure", "BACKENDS",
+    "Span", "Tracer", "get_tracer", "install", "traced",
+    "read_jsonl", "write_jsonl", "to_chrome_events", "write_chrome",
+    "write_trace", "format_tree", "format_summary",
     "Partition", "even_split", "partition_bytes", "partition_text_file",
     "partition_rank_spmd", "partition_records",
     "RangeLineReader", "BufferedTextWriter", "BufferedBinaryWriter",

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from ..errors import PartitionError
 from .comm import Communicator
+from .tracing import get_tracer
 
 #: Default number of bytes to read per probe while scanning for a
 #: delimiter.  Large enough that one probe nearly always suffices for SAM.
@@ -104,7 +105,9 @@ def partition_text_file(path: str | os.PathLike[str], nparts: int,
     start (except 0) immediately follows a line breaker.
     """
     length = os.path.getsize(path)
-    with open(path, "rb") as fh:
+    with get_tracer().span("partition.algorithm1", "partition",
+                           args={"nparts": nparts, "bytes": length}), \
+            open(path, "rb") as fh:
         def read_at(offset: int, size: int) -> bytes:
             fh.seek(offset)
             return fh.read(size)
@@ -146,22 +149,24 @@ def partition_rank_spmd(comm: Communicator, path: str | os.PathLike[str],
     adjusted start and sends it to rank ``i - 1``, which uses it as its
     end; a barrier separates adjustment from length computation.
     """
-    length = os.path.getsize(path)
-    tentative = even_split(length, comm.size)
-    start = tentative[comm.rank][0]
-    if comm.rank != 0:
-        with open(path, "rb") as fh:
-            def read_at(offset: int, size: int) -> bytes:
-                fh.seek(offset)
-                return fh.read(size)
-            start = _scan_forward(read_at, start, length, probe_size)
-        comm.send(start, comm.rank - 1, tag=1)
-    if comm.rank != comm.size - 1:
-        end = comm.recv(comm.rank + 1, tag=1)
-    else:
-        end = length
-    comm.barrier()
-    return Partition(comm.rank, min(start, end), end)
+    with get_tracer().span("partition.rank_spmd", "partition",
+                           rank=comm.rank):
+        length = os.path.getsize(path)
+        tentative = even_split(length, comm.size)
+        start = tentative[comm.rank][0]
+        if comm.rank != 0:
+            with open(path, "rb") as fh:
+                def read_at(offset: int, size: int) -> bytes:
+                    fh.seek(offset)
+                    return fh.read(size)
+                start = _scan_forward(read_at, start, length, probe_size)
+            comm.send(start, comm.rank - 1, tag=1)
+        if comm.rank != comm.size - 1:
+            end = comm.recv(comm.rank + 1, tag=1)
+        else:
+            end = length
+        comm.barrier()
+        return Partition(comm.rank, min(start, end), end)
 
 
 def partition_records(count: int, nparts: int) -> list[tuple[int, int]]:

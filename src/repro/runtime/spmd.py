@@ -22,6 +22,7 @@ from typing import Any
 
 from ..errors import RuntimeLayerError
 from .comm import Communicator, SerialComm, ThreadComm
+from .tracing import Tracer, get_tracer
 
 #: Backends accepted by :func:`run_spmd`.
 BACKENDS = ("serial", "thread", "process")
@@ -43,10 +44,20 @@ def _thread_backend(fn: Callable[..., Any], size: int,
     comms = ThreadComm.create_world(size)
     results: list[Any] = [None] * size
     failures: dict[int, str] = {}
+    tracer = get_tracer()
+    caller = tracer.current_span() if tracer.enabled else None
+    parent_id = caller.span_id if caller is not None else None
 
     def runner(rank: int) -> None:
         try:
-            results[rank] = fn(comms[rank], *args)
+            if tracer.enabled:
+                with tracer.activate(), tracer.rank_context(rank), \
+                        tracer.span("spmd.rank", "spmd", rank=rank,
+                                    args={"fn": fn.__name__},
+                                    parent_id=parent_id):
+                    results[rank] = fn(comms[rank], *args)
+            else:
+                results[rank] = fn(comms[rank], *args)
         except Exception:  # noqa: BLE001 - reported collectively below
             failures[rank] = traceback.format_exc()
             comms[rank]._world.barrier.abort()
@@ -101,13 +112,25 @@ class _PipeComm(Communicator):
 
 def _process_worker(fn: Callable[..., Any], rank: int, size: int,
                     conns: dict[int, Any], barrier: Any, result_conn: Any,
-                    args: tuple[Any, ...]) -> None:
+                    args: tuple[Any, ...],
+                    trace_epoch: float | None = None) -> None:
     comm = _PipeComm(rank, size, conns, barrier)
     try:
-        result = fn(comm, *args)
-        result_conn.send(("ok", result))
+        if trace_epoch is not None:
+            # CLOCK_MONOTONIC survives fork, so the child tracer shares
+            # the parent's epoch and its spans line up in one timeline.
+            child = Tracer(enabled=True, epoch=trace_epoch)
+            with child.activate(), child.rank_context(rank), \
+                    child.span("spmd.rank", "spmd", rank=rank,
+                               args={"fn": fn.__name__}):
+                result = fn(comm, *args)
+            spans = [s.to_dict() for s in child.spans()]
+        else:
+            result = fn(comm, *args)
+            spans = []
+        result_conn.send(("ok", result, spans))
     except Exception:  # noqa: BLE001 - reported collectively by parent
-        result_conn.send(("error", traceback.format_exc()))
+        result_conn.send(("error", traceback.format_exc(), []))
 
 
 def _process_backend(fn: Callable[..., Any], size: int,
@@ -122,18 +145,24 @@ def _process_backend(fn: Callable[..., Any], size: int,
             pair_conns[b][a] = cb
     barrier = ctx.Barrier(size)
     result_pipes = [ctx.Pipe(duplex=False) for _ in range(size)]
+    tracer = get_tracer()
+    trace_epoch = tracer.epoch if tracer.enabled else None
+    caller = tracer.current_span() if tracer.enabled else None
+    parent_id = caller.span_id if caller is not None else None
     procs = []
     for rank in range(size):
         p = ctx.Process(
             target=_process_worker,
             args=(fn, rank, size, pair_conns[rank], barrier,
-                  result_pipes[rank][1], args))
+                  result_pipes[rank][1], args, trace_epoch))
         p.start()
         procs.append(p)
     results: list[Any] = [None] * size
     failures: dict[int, str] = {}
     for rank, (recv_end, _) in enumerate(result_pipes):
-        status, payload = recv_end.recv()
+        status, payload, spans = recv_end.recv()
+        if spans:
+            tracer.ingest(spans, rank=rank, parent_id=parent_id)
         if status == "ok":
             results[rank] = payload
         else:

@@ -103,6 +103,10 @@ class Job:
                                   repr=False)
     cancel_requested: threading.Event = field(
         default_factory=threading.Event, repr=False)
+    #: Span dicts recorded by the worker pool, one tree per attempt.
+    #: Deliberately excluded from :meth:`to_dict` — traces can be large
+    #: and are fetched on demand through the ``trace`` protocol op.
+    trace: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:

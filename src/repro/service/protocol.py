@@ -2,7 +2,8 @@
 
 One request or response per line: a UTF-8 JSON object terminated by
 ``\\n``.  Requests carry an ``op`` field (``submit``, ``status``,
-``cancel``, ``metrics``, ``wait``, ``ping``, ``shutdown``); responses
+``cancel``, ``metrics``, ``wait``, ``trace``, ``ping``,
+``shutdown``); responses
 carry ``ok`` (bool) plus either the op-specific payload or an
 ``error`` string.  The framing is deliberately trivial so any language
 — or ``nc`` in a pinch — can drive the daemon.
@@ -16,8 +17,8 @@ from typing import Any, BinaryIO
 from ..errors import ProtocolError
 
 #: Operations the daemon understands.
-OPS = ("submit", "status", "cancel", "metrics", "wait", "ping",
-       "shutdown")
+OPS = ("submit", "status", "cancel", "metrics", "wait", "trace",
+       "ping", "shutdown")
 
 #: Hard cap on one protocol line; a submit request is far smaller.
 MAX_LINE = 1 << 20

@@ -27,6 +27,7 @@ from typing import Any, Callable
 
 from ..errors import JobNotFoundError, ServiceError
 from ..runtime.metrics import ServiceMetrics
+from ..runtime.tracing import Tracer
 from .jobs import Job, JobState
 
 
@@ -44,13 +45,20 @@ class WorkerPool:
     metrics:
         Optional shared :class:`ServiceMetrics`; one is created when
         omitted.
+    trace_jobs:
+        Record a span tree per job attempt into :attr:`Job.trace` and
+        mirror span durations into ``span.<name>`` metric timers.  On
+        by default; disable for benchmark pools where the per-span
+        bookkeeping would distort measurements.
     """
 
     def __init__(self, runner: Callable[[Job], Any], workers: int = 2,
-                 metrics: ServiceMetrics | None = None) -> None:
+                 metrics: ServiceMetrics | None = None,
+                 trace_jobs: bool = True) -> None:
         if workers < 1:
             raise ServiceError(f"workers {workers} must be >= 1")
         self._runner = runner
+        self._trace_jobs = trace_jobs
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._cond = threading.Condition()
         self._seq = itertools.count()
@@ -118,6 +126,7 @@ class WorkerPool:
                 return False
             job.cancel_requested.set()
             if job.state is JobState.QUEUED:
+                self._discard(job)
                 self._finish(job, JobState.CANCELLED)
             return True
 
@@ -134,15 +143,39 @@ class WorkerPool:
 
     def shutdown(self, wait: bool = True,
                  timeout: float | None = None) -> None:
-        """Stop the workers; queued jobs that never ran stay QUEUED."""
+        """Stop the workers; queued jobs that never ran stay QUEUED.
+
+        Parked retries are different: their delay-heap entries would
+        never become due for a worker again, leaving them orphaned in
+        ``QUEUED`` and hanging any :meth:`wait_all` caller.  The heap
+        is therefore drained deterministically — every still-queued
+        parked retry is finished as ``CANCELLED``.
+        """
         with self._cond:
             self._stopping = True
+            while self._delayed:
+                _, _, job = heapq.heappop(self._delayed)
+                if job.state is JobState.QUEUED:
+                    self._finish(job, JobState.CANCELLED)
             self._cond.notify_all()
         if wait:
             for thread in self._threads:
                 thread.join(timeout)
 
     # -- worker internals -------------------------------------------
+
+    def _discard(self, job: Job) -> None:
+        # Called with the lock held: drop *job*'s entries from both
+        # heaps so a cancelled job cannot linger as a stale retry.
+        ready = [entry for entry in self._ready if entry[2] is not job]
+        if len(ready) != len(self._ready):
+            self._ready[:] = ready
+            heapq.heapify(self._ready)
+        delayed = [entry for entry in self._delayed
+                   if entry[2] is not job]
+        if len(delayed) != len(self._delayed):
+            self._delayed[:] = delayed
+            heapq.heapify(self._delayed)
 
     def _update_depth_gauge(self) -> None:
         # Called with the lock held.
@@ -187,15 +220,32 @@ class WorkerPool:
                 self._cond.wait(wait)
 
     def _run_attempt(self, job: Job) -> tuple[Any, BaseException | None,
-                                              bool]:
-        """Run one attempt; returns (result, exception, timed_out)."""
-        box: list[Any] = [None, None]
+                                              bool, list[dict]]:
+        """Run one attempt; returns (result, exception, timed_out,
+        span_dicts)."""
+        box: list[Any] = [None, None, []]
 
         def call() -> None:
+            if not self._trace_jobs:
+                try:
+                    box[0] = self._runner(job)
+                except BaseException as exc:  # noqa: BLE001 — reported
+                    box[1] = exc
+                return
+            # One tracer per attempt: the converter/runtime spans of
+            # this job land in an isolated tree (activate() is
+            # thread-local, so concurrent jobs do not interleave).
+            tracer = Tracer(enabled=True)
             try:
-                box[0] = self._runner(job)
+                with tracer.activate(), \
+                        tracer.span(f"job.{job.kind}", "service",
+                                    args={"job_id": job.job_id,
+                                          "attempt": job.attempts}):
+                    box[0] = self._runner(job)
             except BaseException as exc:  # noqa: BLE001 — reported
                 box[1] = exc
+            finally:
+                box[2] = [s.to_dict() for s in tracer.spans()]
 
         thread = threading.Thread(target=call, daemon=True,
                                   name=f"{job.job_id}-attempt"
@@ -203,17 +253,25 @@ class WorkerPool:
         thread.start()
         thread.join(job.timeout)
         if thread.is_alive():
-            # The attempt thread is abandoned; it cannot be killed.
-            return None, None, True
-        return box[0], box[1], False
+            # The attempt thread is abandoned; it cannot be killed
+            # (and its span list must not be read while it still runs).
+            return None, None, True, []
+        return box[0], box[1], False, box[2]
 
     def _worker_loop(self) -> None:
         while True:
             job = self._next_job()
             if job is None:
                 return
-            result, exc, timed_out = self._run_attempt(job)
+            result, exc, timed_out, spans = self._run_attempt(job)
             with self._cond:
+                if spans:
+                    job.trace.extend(spans)
+                    for span in spans:
+                        if span.get("end") is not None:
+                            self.metrics.observe(
+                                f"span.{span['name']}",
+                                span["end"] - span["start"])
                 if job.cancel_requested.is_set():
                     self._finish(job, JobState.CANCELLED)
                     continue
@@ -228,7 +286,7 @@ class WorkerPool:
                     job.error = None
                     self._finish(job, JobState.DONE)
                     continue
-                if job.attempts_left > 0:
+                if job.attempts_left > 0 and not self._stopping:
                     delay = job.backoff * 2 ** (job.attempts - 1)
                     job.transition(JobState.QUEUED)
                     self.metrics.inc("jobs_retried")
@@ -237,5 +295,8 @@ class WorkerPool:
                         (time.monotonic() + delay, next(self._seq), job))
                     self._update_depth_gauge()
                     self._cond.notify_all()
+                elif job.attempts_left > 0:
+                    # Pool is stopping: parking a retry would orphan it.
+                    self._finish(job, JobState.CANCELLED)
                 else:
                     self._finish(job, JobState.FAILED)

@@ -120,6 +120,10 @@ class ConversionService:
         job.wait(timeout)
         return job.to_dict()
 
+    def trace(self, job_id: str) -> list[dict[str, Any]]:
+        """Span dicts recorded for a job (one tree per attempt)."""
+        return list(self.pool.get(job_id).trace)
+
     def metrics_snapshot(self) -> dict[str, Any]:
         """Current service counters/gauges/timers."""
         return self.metrics.snapshot()
@@ -281,6 +285,9 @@ class ServiceDaemon:
             if op == "cancel":
                 return protocol.ok_response(
                     cancelled=self.service.cancel(message["job_id"]))
+            if op == "trace":
+                return protocol.ok_response(
+                    spans=self.service.trace(message["job_id"]))
             if op == "metrics":
                 return protocol.ok_response(
                     metrics=self.service.metrics_snapshot())
@@ -367,6 +374,10 @@ class ServiceClient:
     def cancel(self, job_id: str) -> bool:
         """Request cancellation; ``False`` if the job already ended."""
         return self.request("cancel", job_id=job_id)["cancelled"]
+
+    def trace(self, job_id: str) -> list[dict[str, Any]]:
+        """Span dicts recorded for one job."""
+        return self.request("trace", job_id=job_id)["spans"]
 
     def metrics(self) -> dict[str, Any]:
         """The service metrics snapshot."""

@@ -1,0 +1,47 @@
+"""Docs lint: every intra-repo markdown link must resolve, and the
+docs map must actually cover the docs directory."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_check_docs():
+    path = os.path.join(REPO_ROOT, "tools", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_broken_markdown_links():
+    check_docs = _load_check_docs()
+    broken = check_docs.find_broken_links(REPO_ROOT)
+    assert broken == [], "\n".join(
+        f"{rel}:{lineno}: broken link -> {target}"
+        for rel, lineno, target in broken)
+
+
+def test_checker_flags_broken_link(tmp_path):
+    check_docs = _load_check_docs()
+    (tmp_path / "a.md").write_text(
+        "see [missing](nope.md) and [ok](b.md)\n"
+        "```\n[ignored](inside-fence.md)\n```\n"
+        "[web](https://example.com) [anchor](#here)\n")
+    (tmp_path / "b.md").write_text("# b\n")
+    broken = check_docs.find_broken_links(str(tmp_path))
+    assert broken == [("a.md", 1, "nope.md")]
+
+
+def test_readme_docs_map_lists_every_doc():
+    with open(os.path.join(REPO_ROOT, "README.md"),
+              encoding="utf-8") as fh:
+        readme = fh.read()
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            assert f"docs/{name}" in readme, \
+                f"README docs map is missing docs/{name}"

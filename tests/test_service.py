@@ -500,3 +500,142 @@ def test_daemon_rejects_malformed_line(daemon):
 def test_client_connection_refused(tmp_path):
     with pytest.raises(ServiceError, match="cannot reach service"):
         ServiceClient(str(tmp_path / "nothing.sock"))
+
+
+# ---------------------------------------------------------------------
+# retry delay-heap drain on cancel / shutdown (regression)
+
+
+def test_cancel_parked_retry_drains_delay_heap():
+    """Cancelling a job parked in the retry delay-heap must remove it
+    from the heap — a stale entry would resurrect the job later."""
+    pool = WorkerPool(lambda job: 1 / 0, workers=1)
+    try:
+        job = pool.submit(Job(kind="k", max_retries=3, backoff=30.0))
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            with pool._cond:
+                if pool._delayed:
+                    break
+            time.sleep(0.01)
+        with pool._cond:
+            assert pool._delayed, "job never parked for retry"
+        assert pool.cancel(job.job_id) is True
+        wait_terminal(job, 5)
+        assert job.state is JobState.CANCELLED
+        with pool._cond:
+            assert pool._delayed == [] and pool._ready == []
+        # With the heap drained, wait_all returns immediately instead
+        # of blocking until the 30 s backoff would have fired.
+        assert pool.wait_all(timeout=1.0)
+        assert pool.metrics.gauge("queue_depth") == 0
+    finally:
+        pool.shutdown()
+
+
+def test_shutdown_finishes_parked_retries_as_cancelled():
+    """shutdown() must not orphan retries parked in the delay heap:
+    they finish CANCELLED instead of hanging QUEUED forever."""
+    pool = WorkerPool(lambda job: 1 / 0, workers=1)
+    job = pool.submit(Job(kind="k", max_retries=3, backoff=30.0))
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline:
+        with pool._cond:
+            if pool._delayed:
+                break
+        time.sleep(0.01)
+    pool.shutdown()
+    wait_terminal(job, 5)
+    assert job.state is JobState.CANCELLED
+    assert job.done.is_set()
+
+
+def test_retry_during_shutdown_is_cancelled_not_parked():
+    """An attempt that fails while the pool is stopping must not park a
+    retry the drained heap will never serve."""
+    release = threading.Event()
+
+    def runner(job: Job):
+        release.wait(10)
+        raise RuntimeError("fail after shutdown began")
+
+    pool = WorkerPool(runner, workers=1)
+    job = pool.submit(Job(kind="k", max_retries=3, backoff=0.01))
+    time.sleep(0.05)                    # let the attempt start
+    stopper = threading.Thread(target=pool.shutdown)
+    stopper.start()
+    time.sleep(0.05)                    # shutdown sets _stopping
+    release.set()
+    stopper.join(10)
+    assert not stopper.is_alive()
+    wait_terminal(job, 5)
+    assert job.state is JobState.CANCELLED
+
+
+# ---------------------------------------------------------------------
+# per-job span traces
+
+
+def test_pool_records_job_trace_and_span_timers():
+    from repro.runtime.tracing import Tracer, get_tracer, install
+
+    def runner(job: Job):
+        with get_tracer().span("step", "test"):
+            time.sleep(0.002)
+        return "ok"
+
+    pool = WorkerPool(runner, workers=1)
+    try:
+        job = wait_terminal(pool.submit(Job(kind="work")))
+        assert job.state is JobState.DONE
+        names = [s["name"] for s in job.trace]
+        assert "job.work" in names and "step" in names
+        root = next(s for s in job.trace if s["name"] == "job.work")
+        step = next(s for s in job.trace if s["name"] == "step")
+        assert step["parent_id"] == root["span_id"]
+        snap = pool.metrics.snapshot()
+        assert "span.job.work" in snap["timers"]
+        assert "span.step" in snap["timers"]
+        # Trace stays out of the wire dict (can be large).
+        assert "trace" not in job.to_dict()
+    finally:
+        pool.shutdown()
+
+
+def test_pool_trace_disabled():
+    pool = WorkerPool(lambda job: "ok", workers=1, trace_jobs=False)
+    try:
+        job = wait_terminal(pool.submit(Job(kind="work")))
+        assert job.trace == []
+        assert "span.job.work" not in pool.metrics.snapshot()["timers"]
+    finally:
+        pool.shutdown()
+
+
+def test_failed_attempts_keep_their_spans():
+    pool = WorkerPool(lambda job: 1 / 0, workers=1)
+    try:
+        job = pool.submit(Job(kind="k", max_retries=2, backoff=0.01))
+        wait_terminal(job)
+        assert job.state is JobState.FAILED
+        roots = [s for s in job.trace if s["name"] == "job.k"]
+        assert len(roots) == job.attempts   # one span tree per attempt
+        assert all(s["args"]["error"] == "ZeroDivisionError"
+                   for s in roots)
+        attempts = sorted(s["args"]["attempt"] for s in roots)
+        assert attempts == list(range(1, job.attempts + 1))
+    finally:
+        pool.shutdown()
+
+
+def test_daemon_trace_op(daemon, bam_file, tmp_path):
+    with ServiceClient(daemon.socket_path) as client:
+        job = client.submit("convert", {
+            "input": bam_file, "target": "bed",
+            "out_dir": str(tmp_path / "out")})
+        client.wait(job["job_id"], timeout=60)
+        spans = client.trace(job["job_id"])
+        names = {s["name"] for s in spans}
+        assert "job.convert" in names and "convert" in names
+        with pytest.raises(JobNotFoundError):
+            client.trace("job-424242")

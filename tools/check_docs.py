@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Check intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for inline links (``[text](target)``)
+whose target is a relative path, and verifies the target exists in the
+repository.  External links (``http(s)://``, ``mailto:``), pure
+anchors (``#section``) and code spans are ignored; a ``path#anchor``
+target is checked for the *path* part only.
+
+Usage::
+
+    python tools/check_docs.py [ROOT]
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link
+is printed as ``file:line: broken link -> target``).  Also callable
+from tests via :func:`find_broken_links`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: Inline markdown link: [text](target). Images ![alt](target) match
+#: too via the optional leading "!". Targets with spaces are not used
+#: in this repo, so the simple no-space pattern is enough.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+_CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+#: Directories never scanned for markdown sources.
+_SKIP_DIRS = {".git", ".github", "__pycache__", ".pytest_cache",
+              "node_modules", ".hypothesis", "results"}
+
+
+def iter_markdown_files(root: str) -> list[str]:
+    """All ``*.md`` files under *root*, skipping VCS/cache dirs."""
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return found
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+def find_broken_links(root: str) -> list[tuple[str, int, str]]:
+    """Return ``(relative_file, line_number, target)`` per broken link."""
+    broken = []
+    for path in iter_markdown_files(root):
+        rel = os.path.relpath(path, root)
+        base = os.path.dirname(path)
+        in_fence = False
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if _CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for match in _LINK_RE.finditer(line):
+                    target = match.group(1)
+                    if _is_external(target):
+                        continue
+                    target_path = target.split("#", 1)[0]
+                    if not target_path:
+                        continue
+                    resolved = os.path.normpath(
+                        os.path.join(base, target_path))
+                    if not os.path.exists(resolved):
+                        broken.append((rel, lineno, target))
+    return broken
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = argv[0] if argv else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    broken = find_broken_links(root)
+    for rel, lineno, target in broken:
+        print(f"{rel}:{lineno}: broken link -> {target}")
+    checked = len(iter_markdown_files(root))
+    print(f"checked {checked} markdown files: "
+          f"{len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
