@@ -4,6 +4,13 @@ Paper: a 100 GB SAM dataset converted to BED, BEDGRAPH and FASTA on 1 to
 128 cores; all three conversions scale well, and SAM -> BEDGRAPH scales
 slightly best because a BEDGRAPH record carries the least text, making
 that conversion the least I/O-intensive.
+
+On top of the paper's multi-core sweep, this bench measures the batched
+pipeline (chunk-level codecs + column fastpaths) against the
+record-at-a-time pipeline on a single rank — the batched path must win
+on every fastpath target.  In smoke mode (``REPRO_BENCH_SMOKE``) only
+that comparison runs, on a small dataset, which is what the CI
+perf-smoke job gates on.
 """
 
 from __future__ import annotations
@@ -13,16 +20,40 @@ import os
 from repro.core import SamConverter
 from repro.runtime.metrics import SpeedupCurve
 
-from .common import CONVERSION_CORES, report, sam_dataset, \
-    sequential_reference, speedup_curve
+from .common import CONVERSION_CORES, best_seconds, curve_payload, \
+    report, report_json, sam_dataset, sequential_reference, smoke_mode, \
+    speedup_curve
+
+TARGETS = ("bed", "bedgraph", "fasta")
 
 
-def _sweep(out_root: str) -> dict[str, SpeedupCurve]:
+def _compare_pipelines(out_root: str) -> dict[str, dict[str, float]]:
+    """Single-rank record vs batch pipeline, best-of-3 per target."""
+    sam_path = sam_dataset()
+    comparison = {}
+    for target in TARGETS:
+        seconds = {}
+        for pipeline in ("record", "batch"):
+            converter = SamConverter(pipeline=pipeline)
+            out_dir = os.path.join(out_root, f"pipe_{pipeline}_{target}")
+            seconds[pipeline] = best_seconds(
+                lambda: converter.convert(sam_path, target, out_dir,
+                                          nprocs=1).rank_metrics)
+        comparison[target] = {
+            "record_seconds": round(seconds["record"], 4),
+            "batch_seconds": round(seconds["batch"], 4),
+            "batched_speedup": round(
+                seconds["record"] / seconds["batch"], 2),
+        }
+    return comparison
+
+
+def _sweep(out_root: str) -> tuple[dict[str, SpeedupCurve], dict[str, int]]:
     sam_path = sam_dataset()
     converter = SamConverter()
     curves = {}
     bytes_out = {}
-    for target in ("bed", "bedgraph", "fasta"):
+    for target in TARGETS:
         runs = {}
         for nprocs in CONVERSION_CORES:
             result = converter.convert(
@@ -37,12 +68,29 @@ def _sweep(out_root: str) -> dict[str, SpeedupCurve]:
 
 
 def test_fig6_sam_converter_speedup(benchmark, tmp_path):
+    if smoke_mode():
+        comparison = _compare_pipelines(str(tmp_path))
+        report_json("fig6_sam_converter", {"pipelines": comparison})
+        for target, row in comparison.items():
+            # The CI gate: the batched path must not be slower.
+            assert row["batched_speedup"] > 1.0, (target, row)
+        return
+
     curves, bytes_out = benchmark.pedantic(_sweep, args=(str(tmp_path),),
                                            rounds=1, iterations=1)
+    comparison = _compare_pipelines(str(tmp_path))
     text = "\n\n".join(c.format_table() for c in curves.values())
     text += "\n\noutput bytes per target: " + ", ".join(
         f"{t}={n}" for t, n in sorted(bytes_out.items()))
+    text += "\n\nsingle-rank batched speedup: " + ", ".join(
+        f"{t}={row['batched_speedup']}x"
+        for t, row in sorted(comparison.items()))
     report("fig6_sam_converter", text)
+    report_json("fig6_sam_converter", {
+        "pipelines": comparison,
+        "curves": curve_payload(curves),
+        "bytes_out": bytes_out,
+    })
 
     for target, curve in curves.items():
         speedups = curve.speedups()
@@ -54,6 +102,9 @@ def test_fig6_sam_converter_speedup(benchmark, tmp_path):
         assert sixteen.speedup > 6.0, (target, sixteen.speedup)
         # And the curve keeps gaining into the high-core range.
         assert speedups[-1] > speedups[3], target
+    # Chunk-level codecs must beat record-at-a-time decisively.
+    for target, row in comparison.items():
+        assert row["batched_speedup"] >= 1.5, (target, row)
     # Paper's ordering rationale: a BEDGRAPH record carries the least
     # text, making that conversion the least I/O-intensive.  Assert the
     # deterministic byte counts (the timing ordering at 128 ranks is

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import contextlib
 import functools
+import json
 import os
 import tempfile
+import time
 
 from repro.formats.bam import write_bam
 from repro.runtime.metrics import ClusterModel, RankMetrics, \
@@ -39,6 +41,26 @@ CLUSTER = ClusterModel()
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Repo root: machine-readable BENCH_<name>.json results land here so
+#: the perf trajectory is tracked across PRs.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def smoke_mode() -> bool:
+    """True when ``REPRO_BENCH_SMOKE`` is set: shrink datasets, skip the
+    multi-core sweeps, keep the batched-vs-record assertions (the CI
+    perf-smoke job runs in this mode)."""
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def default_templates(full: int = 16_000, smoke: int = 2_000) -> int:
+    """Bench dataset size: ``REPRO_BENCH_TEMPLATES`` env override, else
+    *smoke* in smoke mode, else *full*."""
+    env = os.environ.get("REPRO_BENCH_TEMPLATES")
+    if env:
+        return int(env)
+    return smoke if smoke_mode() else full
+
 
 @functools.lru_cache(maxsize=None)
 def dataset_dir() -> str:
@@ -47,8 +69,10 @@ def dataset_dir() -> str:
 
 
 @functools.lru_cache(maxsize=None)
-def sam_dataset(n_templates: int = 16_000, seed: int = 1234) -> str:
+def sam_dataset(n_templates: int | None = None, seed: int = 1234) -> str:
     """Build (once) and return the bench SAM dataset path."""
+    if n_templates is None:
+        n_templates = default_templates()
     path = os.path.join(dataset_dir(), f"bench{n_templates}.sam")
     build_sam_dataset(path, n_templates,
                       chromosomes=[("chr1", 600_000), ("chr2", 400_000)],
@@ -57,9 +81,11 @@ def sam_dataset(n_templates: int = 16_000, seed: int = 1234) -> str:
 
 
 @functools.lru_cache(maxsize=None)
-def bam_dataset(n_templates: int = 16_000, seed: int = 1234) -> str:
+def bam_dataset(n_templates: int | None = None, seed: int = 1234) -> str:
     """Build (once) and return the bench BAM dataset path."""
     from repro.formats.sam import read_sam
+    if n_templates is None:
+        n_templates = default_templates()
     sam_path = sam_dataset(n_templates, seed)
     path = os.path.join(dataset_dir(), f"bench{n_templates}.bam")
     header, records = read_sam(sam_path)
@@ -142,6 +168,51 @@ def report(name: str, text: str) -> None:
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
               encoding="utf-8") as fh:
         fh.write(banner)
+
+
+def report_json(name: str, payload: dict) -> str:
+    """Write machine-readable results to ``BENCH_<name>.json`` at the
+    repo root (alongside the human-readable results/ text).
+
+    The timestamp comes from ``REPRO_BENCH_TIMESTAMP`` when set (so CI
+    runs are attributable to a commit time) and the wall clock
+    otherwise.  Returns the path written.
+    """
+    env_ts = os.environ.get("REPRO_BENCH_TIMESTAMP")
+    doc = {
+        "bench": name,
+        "timestamp": float(env_ts) if env_ts else time.time(),
+        "smoke": smoke_mode(),
+        **payload,
+    }
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench-json] -> {path}")
+    return path
+
+
+def best_seconds(run, repeats: int = 3) -> float:
+    """Best-of-N measured seconds of ``run()`` returning rank metrics.
+
+    Sums each attempt's per-rank wall time (compute + I/O), so for a
+    single-rank run this is the rank task's wall clock.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        metrics = run()
+        best = min(best, merge_all(metrics).total_seconds)
+    return best
+
+
+def curve_payload(curves: dict[str, SpeedupCurve]) -> dict:
+    """JSON-friendly rendering of per-target speedup curves."""
+    return {
+        target: {str(p.nprocs): round(p.speedup, 3)
+                 for p in curve.points}
+        for target, curve in curves.items()
+    }
 
 
 def format_rows(headers: list[str], rows: list[list[object]]) -> str:

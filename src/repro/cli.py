@@ -54,18 +54,23 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         else None
     source = args.input.lower()
     if source.endswith(".sam"):
-        result = SamConverter().convert(args.input, args.target,
-                                        args.out_dir, args.nprocs,
-                                        args.executor,
-                                        record_filter=record_filter)
+        result = SamConverter(
+            batch_size=args.batch_size,
+            pipeline=args.pipeline).convert(args.input, args.target,
+                                            args.out_dir, args.nprocs,
+                                            args.executor,
+                                            record_filter=record_filter)
     elif source.endswith((".bamx", ".bamz")):
-        result = BamConverter().convert(args.input, args.target,
-                                        args.out_dir, args.nprocs,
-                                        args.executor,
-                                        record_filter=record_filter)
+        result = BamConverter(
+            batch_size=args.batch_size,
+            pipeline=args.pipeline).convert(args.input, args.target,
+                                            args.out_dir, args.nprocs,
+                                            args.executor,
+                                            record_filter=record_filter)
     elif source.endswith(".bam"):
         from .core import PreprocArtifacts
-        converter = BamConverter()
+        converter = BamConverter(batch_size=args.batch_size,
+                                 pipeline=args.pipeline)
         supplied = PreprocArtifacts.for_store(args.bamx, args.baix) \
             if args.bamx else None
         artifacts, pre = converter.ensure_preprocessed(
@@ -116,7 +121,9 @@ def _cmd_region(args: argparse.Namespace) -> int:
     from .core import BamConverter, parse_filter_expr
     record_filter = parse_filter_expr(args.filter) if args.filter \
         else None
-    result = BamConverter().convert_region(
+    result = BamConverter(
+        batch_size=args.batch_size,
+        pipeline=args.pipeline).convert_region(
         args.bamx, args.baix, args.region, args.target, args.out_dir,
         args.nprocs, args.executor, mode=args.mode,
         record_filter=record_filter)
@@ -374,6 +381,19 @@ def _cmd_formats(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_pipeline_arguments(p: argparse.ArgumentParser) -> None:
+    """Batched-pipeline knobs shared by the conversion commands."""
+    from .formats.batch import DEFAULT_BATCH_SIZE, PIPELINES
+    p.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+                   help="records per batch through the chunk-level "
+                        f"codecs (default {DEFAULT_BATCH_SIZE})")
+    p.add_argument("--pipeline", default="batch", choices=PIPELINES,
+                   help="'batch' (default) uses the chunk-level codecs "
+                        "and per-target fastpaths; 'record' keeps the "
+                        "record-at-a-time path (outputs are "
+                        "byte-identical)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -412,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(BAM input only)")
     p.add_argument("--baix", default=None,
                    help="index for --bamx (default <bamx>.baix)")
+    _add_pipeline_arguments(p)
     p.set_defaults(fn=_cmd_convert)
 
     p = sub.add_parser("preprocess", help="BAMX/BAIX preprocessing only")
@@ -471,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "or overlapping the region")
     p.add_argument("--filter", default=None,
                    help="record filter, e.g. 'q=30,F=0x400,primary'")
+    _add_pipeline_arguments(p)
     p.set_defaults(fn=_cmd_region)
 
     p = sub.add_parser("histogram", help="binned coverage histogram from "

@@ -27,9 +27,11 @@ import time
 from dataclasses import dataclass
 
 from ..errors import ConversionError
+from ..formats import batch as batch_codec
 from ..formats.bam import BamReader
 from ..formats.baix import BaixIndex, default_index_path
 from ..formats.bamx import BamxLayout, BamxWriter
+from ..formats.batch import DEFAULT_BATCH_SIZE, PIPELINES
 from ..formats.store import open_record_store
 from ..formats.header import SamHeader
 from ..formats.tags import encode_tags
@@ -48,6 +50,7 @@ def preprocess_bam(bam_path: str | os.PathLike[str],
                    bamx_path: str | os.PathLike[str],
                    baix_path: str | os.PathLike[str] | None = None,
                    compress: bool = False, level: int = 6,
+                   batch_size: int = DEFAULT_BATCH_SIZE,
                    ) -> RankMetrics:
     """Sequential preprocessing: BAM -> BAMX (or BAMZ) + BAIX.
 
@@ -90,10 +93,27 @@ def preprocess_bam(bam_path: str | os.PathLike[str],
         index_entries = []
         with tracer.span("write", "bam", args={"records": count}), \
                 BamReader(bam_path) as reader, writer_ctx as writer:
-            for record in reader:
-                index = writer.write(record)
-                if record.rname != "*" and record.pos >= 0:
-                    index_entries.append((index, record))
+            if hasattr(writer, "write_batch"):
+                # BAMX: batch-encode into one preallocated buffer per
+                # slab (BAMZ needs per-record virtual offsets and keeps
+                # the per-record path).
+                pending: list = []
+                with tracer.span("batch.encode", "bam",
+                                 args={"batch_size": batch_size}):
+                    for record in reader:
+                        pending.append(record)
+                        if len(pending) >= batch_size:
+                            _flush_preproc_batch(writer, pending,
+                                                 index_entries)
+                            pending = []
+                    if pending:
+                        _flush_preproc_batch(writer, pending,
+                                             index_entries)
+            else:
+                for record in reader:
+                    index = writer.write(record)
+                    if record.rname != "*" and record.pos >= 0:
+                        index_entries.append((index, record))
         with tracer.span("index", "bam",
                          args={"entries": len(index_entries)}):
             BaixIndex.build(index_entries, header).save(baix_path)
@@ -106,6 +126,15 @@ def preprocess_bam(bam_path: str | os.PathLike[str],
     metrics.bytes_written = (os.path.getsize(bamx_path)
                              + os.path.getsize(baix_path))
     return finish_rank_metrics(metrics, t0)
+
+
+def _flush_preproc_batch(writer: BamxWriter, records: list,
+                         index_entries: list) -> None:
+    """Write one preprocessing batch and collect its index entries."""
+    first = writer.write_batch(records)
+    for j, record in enumerate(records):
+        if record.rname != "*" and record.pos >= 0:
+            index_entries.append((first + j, record))
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,6 +178,8 @@ class BamxRangeSpec:
     target: str
     out_path: str
     record_filter: RecordFilter = ACCEPT_ALL
+    batch_size: int = DEFAULT_BATCH_SIZE
+    pipeline: str = "batch"
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,6 +191,8 @@ class BamxPickSpec:
     target: str
     out_path: str
     record_filter: RecordFilter = ACCEPT_ALL
+    batch_size: int = DEFAULT_BATCH_SIZE
+    pipeline: str = "batch"
 
 
 def _bamx_range_task(spec: BamxRangeSpec) -> RankMetrics:
@@ -171,10 +204,17 @@ def _bamx_range_task(spec: BamxRangeSpec) -> RankMetrics:
         target = bind_target(get_target(spec.target), reader.header)
         metrics.bytes_read += (spec.stop - spec.start) \
             * reader.layout.record_size
-        records = spec.record_filter.apply(
-            reader.read_range(spec.start, spec.stop))
-        _write_target(records, target, reader.header, spec.out_path,
-                      metrics)
+        if spec.pipeline == "batch" and target.mode == "text" \
+                and hasattr(reader, "read_raw_batches"):
+            slabs = reader.read_raw_batches(spec.start, spec.stop,
+                                            spec.batch_size)
+            _write_target_batched(slabs, reader, target, spec,
+                                  metrics)
+        else:
+            records = spec.record_filter.apply(
+                reader.read_range(spec.start, spec.stop))
+            _write_target(records, target, reader.header, spec.out_path,
+                          metrics)
     return finish_rank_metrics(metrics, t0)
 
 
@@ -186,11 +226,64 @@ def _bamx_pick_task(spec: BamxPickSpec) -> RankMetrics:
     with open_record_store(spec.bamx_path) as reader:
         target = bind_target(get_target(spec.target), reader.header)
         metrics.bytes_read += len(spec.indices) * reader.layout.record_size
-        records = spec.record_filter.apply(
-            reader[i] for i in spec.indices)
-        _write_target(records, target, reader.header, spec.out_path,
-                      metrics)
+        if spec.pipeline == "batch" and target.mode == "text" \
+                and hasattr(reader, "read_raw"):
+            slabs = ((memoryview(reader.read_raw(i)), 1)
+                     for i in spec.indices)
+            _write_target_batched(slabs, reader, target, spec,
+                                  metrics)
+        else:
+            records = spec.record_filter.apply(
+                reader[i] for i in spec.indices)
+            _write_target(records, target, reader.header, spec.out_path,
+                          metrics)
     return finish_rank_metrics(metrics, t0)
+
+
+def _write_target_batched(slabs, reader, target, spec,
+                          metrics: RankMetrics) -> None:
+    """Batched text conversion of raw record slabs.
+
+    *slabs* yields ``(memoryview, count)`` pairs; records with a field
+    fastpath never materialize, others decode record-at-a-time inside
+    the same chunked writes.  Byte-identical to the per-record path.
+    """
+    tracer = get_tracer()
+    layout, header = reader.layout, reader.header
+    fast_emit = batch_codec.bamx_fastpath_for(target, layout, header)
+    seen = emitted = batches = 0
+    with tracer.span("write", "io",
+                     args={"out": os.path.basename(spec.out_path)}), \
+            tracer.span("batch.pipeline", "bam",
+                        args={"batch_size": spec.batch_size,
+                              "fastpath": fast_emit is not None,
+                              "target": spec.target}) as span, \
+            BufferedTextWriter(spec.out_path, metrics=metrics) as writer:
+        head = target.file_header(header)
+        if head:
+            writer.write_text(head)
+        out_lines: list[str] = []
+        for buf, count in slabs:
+            if fast_emit is not None:
+                s, e = batch_codec.convert_bamx_slab(
+                    buf, count, layout, fast_emit, spec.record_filter,
+                    out_lines)
+            else:
+                s, e = batch_codec.convert_bamx_slab_record(
+                    buf, count, layout, header, target,
+                    spec.record_filter, out_lines)
+            seen += s
+            emitted += e
+            batches += 1
+            if len(out_lines) >= spec.batch_size:
+                writer.write_lines(out_lines)
+                out_lines = []
+        if out_lines:
+            writer.write_lines(out_lines)
+        if span is not None:
+            span.args.update(batches=batches, records=seen)
+    metrics.records += seen
+    metrics.emitted += emitted
 
 
 def _write_target(records, target, header: SamHeader, out_path: str,
@@ -222,7 +315,29 @@ def _write_target_inner(records, target, header: SamHeader, out_path: str,
 
 
 class BamConverter:
-    """Two-phase parallel BAM -> * converter."""
+    """Two-phase parallel BAM -> * converter.
+
+    Parameters
+    ----------
+    batch_size:
+        Records per raw slab through the batched conversion phase.
+    pipeline:
+        ``"batch"`` (default) converts raw record slabs through the
+        field-level fastpaths; ``"record"`` decodes every record.
+        Outputs are byte-identical.
+    """
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
+                 pipeline: str = "batch") -> None:
+        if pipeline not in PIPELINES:
+            raise ConversionError(
+                f"unknown pipeline {pipeline!r}; choose one of "
+                f"{PIPELINES}")
+        if batch_size < 1:
+            raise ConversionError(
+                f"batch_size {batch_size} must be >= 1")
+        self.batch_size = batch_size
+        self.pipeline = pipeline
 
     def preprocess(self, bam_path: str | os.PathLike[str],
                    work_dir: str | os.PathLike[str],
@@ -241,7 +356,8 @@ class BamConverter:
                                  stem + store_extension(compress))
         baix_path = default_index_path(bamx_path)
         metrics = preprocess_bam(bam_path, bamx_path, baix_path,
-                                 compress=compress)
+                                 compress=compress,
+                                 batch_size=self.batch_size)
         return bamx_path, baix_path, metrics
 
     def ensure_preprocessed(self, bam_path: str | os.PathLike[str],
@@ -290,7 +406,8 @@ class BamConverter:
                 BamxRangeSpec(bamx_path, start, stop, target,
                               make_output_path(out_dir, stem, rank,
                                                target_plugin),
-                              record_filter or ACCEPT_ALL)
+                              record_filter or ACCEPT_ALL,
+                              self.batch_size, self.pipeline)
                 for rank, (start, stop)
                 in enumerate(partition_records(count, nprocs))
             ]
@@ -367,7 +484,8 @@ class BamConverter:
                              target,
                              make_output_path(out_dir, f"{stem}.region",
                                               rank, target_plugin),
-                             record_filter or ACCEPT_ALL)
+                             record_filter or ACCEPT_ALL,
+                             self.batch_size, self.pipeline)
                 for rank, (start, stop)
                 in enumerate(partition_records(len(indices), nprocs))
             ]
@@ -453,7 +571,8 @@ class BamConverter:
                 BamxPickSpec(bamx_path, tuple(indices[start:stop]), target,
                              make_output_path(out_dir, f"{stem}.regions",
                                               rank, target_plugin),
-                             record_filter or ACCEPT_ALL)
+                             record_filter or ACCEPT_ALL,
+                             self.batch_size, self.pipeline)
                 for rank, (start, stop)
                 in enumerate(partition_records(len(indices), nprocs))
             ]

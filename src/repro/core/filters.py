@@ -58,7 +58,15 @@ class RecordFilter:
 
     def matches(self, record: AlignmentRecord) -> bool:
         """True when the record passes every condition."""
-        flag = record.flag
+        return self.matches_flag_mapq(record.flag, record.mapq)
+
+    def matches_flag_mapq(self, flag: int, mapq: int) -> bool:
+        """:meth:`matches` from FLAG and MAPQ alone.
+
+        Every condition a filter can express reads only these two
+        fields, so the batched fastpaths filter before decoding (or
+        even materializing) the rest of the record.
+        """
         if flag & self.require_flags != self.require_flags:
             return False
         if flag & self.exclude_flags:
@@ -68,7 +76,7 @@ class RecordFilter:
             return False
         if self.mapped_only and flag & Flag.UNMAPPED:
             return False
-        if record.mapq < self.min_mapq:
+        if mapq < self.min_mapq:
             return False
         return True
 

@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from ..errors import ConversionError
 from ..formats.baix import BaixIndex, default_index_path
 from ..formats.bamx import BamxWriter, plan_layout
+from ..formats.batch import DEFAULT_BATCH_SIZE, parse_sam_lines
 from ..formats.header import SamHeader
-from ..formats.sam import parse_alignment
 from ..runtime.buffers import RangeLineReader
 from ..runtime.metrics import RankMetrics
 from ..runtime.tracing import get_tracer
@@ -42,6 +42,7 @@ class PreprocessSpec:
     bamx_path: str
     header_text: str
     read_chunk: int
+    batch_size: int = DEFAULT_BATCH_SIZE
 
 
 def _preprocess_rank_task(spec: PreprocessSpec) -> RankMetrics:
@@ -59,19 +60,22 @@ def _preprocess_rank_task(spec: PreprocessSpec) -> RankMetrics:
     reader = RangeLineReader(spec.sam_path, spec.start, spec.end,
                              chunk_size=spec.read_chunk, metrics=metrics)
     records = []
-    with tracer.span("parse", "samp"):
-        for line in reader:
-            if not line or line.startswith("@"):
-                continue
-            records.append(parse_alignment(line))
+    with tracer.span("parse", "samp",
+                     args={"batch_size": spec.batch_size}):
+        for lines in reader.iter_batches(spec.batch_size):
+            records.extend(parse_sam_lines(lines))
         layout = plan_layout(records)
     with tracer.span("write", "samp", args={"records": len(records)}), \
             BamxWriter(spec.bamx_path, header, layout) as writer:
         index_entries = []
-        for record in records:
-            index = writer.write(record)
-            if record.rname != "*" and record.pos >= 0:
-                index_entries.append((index, record))
+        with tracer.span("batch.encode", "samp",
+                         args={"batch_size": spec.batch_size}):
+            for off in range(0, len(records), spec.batch_size):
+                chunk = records[off:off + spec.batch_size]
+                first = writer.write_batch(chunk)
+                for j, record in enumerate(chunk):
+                    if record.rname != "*" and record.pos >= 0:
+                        index_entries.append((first + j, record))
     baix_path = default_index_path(spec.bamx_path)
     with tracer.span("index", "samp",
                      args={"entries": len(index_entries)}):
@@ -90,8 +94,12 @@ def _preprocess_rank_task(spec: PreprocessSpec) -> RankMetrics:
 class PreprocSamConverter:
     """SAM -> * converter with a *parallel* BAMX preprocessing phase."""
 
-    def __init__(self, read_chunk: int = 4 << 20) -> None:
+    def __init__(self, read_chunk: int = 4 << 20,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 pipeline: str = "batch") -> None:
         self.read_chunk = read_chunk
+        self.batch_size = batch_size
+        self.pipeline = pipeline
 
     def preprocess(self, sam_path: str | os.PathLike[str],
                    work_dir: str | os.PathLike[str], nprocs: int = 1,
@@ -124,6 +132,7 @@ class PreprocSamConverter:
                         work_dir, f"{stem}.part{p.rank:04d}.bamx"),
                     header_text=header.to_text(),
                     read_chunk=self.read_chunk,
+                    batch_size=self.batch_size,
                 )
                 for p in partitions
             ]
@@ -145,7 +154,8 @@ class PreprocSamConverter:
         out_dir = os.fspath(out_dir)
         os.makedirs(out_dir, exist_ok=True)
         t0 = time.perf_counter()
-        bam_converter = BamConverter()
+        bam_converter = BamConverter(batch_size=self.batch_size,
+                                     pipeline=self.pipeline)
         outputs: list[str] = []
         # Rank r's total work is the sum of its share of every BAMX file,
         # matching the paper's one-file-at-a-time schedule.

@@ -94,6 +94,19 @@ class BamxLayout:
 
     def encode(self, record: AlignmentRecord, header: SamHeader) -> bytes:
         """Encode one record to exactly :attr:`record_size` bytes."""
+        out = bytearray(self.record_size)
+        self.encode_into(record, header, out, 0)
+        return bytes(out)
+
+    def encode_into(self, record: AlignmentRecord, header: SamHeader,
+                    out: bytearray, offset: int) -> None:
+        """Encode one record into *out* at *offset*.
+
+        The destination region must be zero-initialized (padding bytes
+        are not written) and at least :attr:`record_size` bytes long —
+        the batch encoders preallocate one zeroed buffer for a whole
+        batch and pack records side by side.
+        """
         name = record.qname.encode("ascii")
         if len(name) > self.name_cap:
             raise CapacityError(
@@ -121,13 +134,12 @@ class BamxLayout:
             next_ref = ref_id
         else:
             next_ref = header.ref_id(record.rnext)
-        out = bytearray(self.record_size)
         _FIXED.pack_into(
-            out, 0,
+            out, offset,
             ref_id, record.pos, record.mapq, len(name), record.flag,
             len(cigar_words), l_seq, next_ref, record.pnext, record.tlen,
             len(tag_block))
-        off = _FIXED.size
+        off = offset + _FIXED.size
         out[off:off + len(name)] = name
         off += self.name_cap
         struct.pack_into(f"<{len(cigar_words)}I", out, off, *cigar_words)
@@ -148,30 +160,34 @@ class BamxLayout:
                 out[off:off + l_seq] = qual_text_to_bytes(record.qual)
         off += self.seq_cap
         out[off:off + len(tag_block)] = tag_block
-        return bytes(out)
 
-    def decode(self, data: bytes, header: SamHeader,
+    def decode(self, data: bytes | memoryview, header: SamHeader,
                offset: int = 0) -> AlignmentRecord:
-        """Decode one record from *data* starting at *offset*."""
+        """Decode one record from *data* starting at *offset*.
+
+        *data* may be any bytes-like object; the batched readers pass a
+        :class:`memoryview` over a whole slab so field slices here are
+        the only copies made.
+        """
         if len(data) - offset < self.record_size:
             raise BamxFormatError("truncated BAMX record")
         (ref_id, pos, mapq, name_len, flag, n_cigar, l_seq,
          next_ref, next_pos, tlen, tag_len) = _FIXED.unpack_from(data, offset)
         off = offset + _FIXED.size
-        name = data[off:off + name_len].decode("ascii")
+        name = str(data[off:off + name_len], "ascii")
         off += self.name_cap
         cigar_words = struct.unpack_from(f"<{n_cigar}I", data, off)
         off += 4 * self.cigar_cap
         seq = unpack_sequence(data[off:off + (l_seq + 1) // 2], l_seq) \
             if l_seq else "*"
         off += (self.seq_cap + 1) // 2
-        qual_raw = data[off:off + l_seq]
+        qual_raw = bytes(data[off:off + l_seq])
         off += self.seq_cap
         if l_seq == 0 or not qual_raw.strip(b"\xff"):
             qual = "*"
         else:
             qual = qual_bytes_to_text(qual_raw)
-        tags = decode_tags(data[off:off + tag_len])
+        tags = decode_tags(bytes(data[off:off + tag_len]))
         rname = "*" if ref_id < 0 else header.ref_name(ref_id)
         if next_ref < 0:
             rnext = "*"
@@ -235,6 +251,25 @@ class BamxWriter:
         index = self.records_written
         self.records_written += 1
         return index
+
+    def write_batch(self, records: list[AlignmentRecord]) -> int:
+        """Append a batch in one preallocated encode + one write.
+
+        Returns the record index of the first record written; record
+        ``records[i]`` gets index ``return_value + i``.
+        """
+        if not records:
+            return self.records_written
+        rsize = self.layout.record_size
+        out = bytearray(len(records) * rsize)
+        off = 0
+        for record in records:
+            self.layout.encode_into(record, self.header, out, off)
+            off += rsize
+        self._fh.write(out)
+        first = self.records_written
+        self.records_written += len(records)
+        return first
 
     def write_all(self, records: Iterable[AlignmentRecord]) -> int:
         """Append every record; return the count written by this call."""
@@ -301,16 +336,37 @@ class BamxReader:
         data = self._fh.read(self.layout.record_size)
         return self.layout.decode(data, self.header)
 
-    def read_range(self, start: int, stop: int,
-                   ) -> Iterator[AlignmentRecord]:
-        """Yield records ``start <= i < stop`` with one buffered scan."""
+    def read_raw(self, index: int) -> bytes:
+        """Read the raw :attr:`record_size` bytes of record *index*."""
+        if not 0 <= index < self._count:
+            raise BamxFormatError(
+                f"record index {index} outside [0, {self._count})",
+                source=self.source_name)
+        rsize = self.layout.record_size
+        self._fh.seek(self._data_offset + index * rsize)
+        data = self._fh.read(rsize)
+        if len(data) != rsize:
+            raise BamxFormatError("truncated BAMX data region",
+                                  source=self.source_name)
+        return data
+
+    def read_raw_batches(self, start: int, stop: int,
+                         batch_size: int = 0,
+                         ) -> Iterator[tuple[memoryview, int]]:
+        """Yield ``(slab, count)`` raw-record slabs for ``[start, stop)``.
+
+        Each slab is a read-only :class:`memoryview` over ``count``
+        consecutive records, so callers can slice fields without
+        copying.  ``batch_size`` is records per slab; 0 picks a slab of
+        roughly 4 MiB (the historical read_range behaviour).
+        """
         if not 0 <= start <= stop <= self._count:
             raise BamxFormatError(
                 f"record range [{start}, {stop}) outside [0, {self._count})")
         rsize = self.layout.record_size
+        per_slab = batch_size if batch_size > 0 \
+            else max(1, (4 << 20) // max(rsize, 1))
         self._fh.seek(self._data_offset + start * rsize)
-        # Read in ~4 MiB slabs so huge ranges don't balloon memory.
-        per_slab = max(1, (4 << 20) // max(rsize, 1))
         remaining = stop - start
         while remaining > 0:
             n = min(per_slab, remaining)
@@ -318,9 +374,20 @@ class BamxReader:
             if len(data) != n * rsize:
                 raise BamxFormatError("truncated BAMX data region",
                                       source=self.source_name)
+            yield memoryview(data), n
+            remaining -= n
+
+    def read_range(self, start: int, stop: int,
+                   ) -> Iterator[AlignmentRecord]:
+        """Yield records ``start <= i < stop`` with one buffered scan."""
+        rsize = self.layout.record_size
+        for data, n in self.read_raw_batches(start, stop):
+            # Full decode touches every field: materializing the slab
+            # once makes the per-field slices cheap bytes slices (small
+            # memoryview slices are slower than the one big copy).
+            data = bytes(data)
             for i in range(n):
                 yield self.layout.decode(data, self.header, i * rsize)
-            remaining -= n
 
     def __iter__(self) -> Iterator[AlignmentRecord]:
         return self.read_range(0, self._count)

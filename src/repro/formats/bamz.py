@@ -160,21 +160,51 @@ class BamzReader:
         data = self._bgzf.read_exactly(self.layout.record_size)
         return self.layout.decode(data, self.header)
 
-    def read_range(self, start: int, stop: int,
-                   ) -> Iterator[AlignmentRecord]:
-        """Yield records ``start <= i < stop``, decoding sequentially
-        from one seek."""
+    def read_raw(self, index: int) -> bytes:
+        """Read the raw :attr:`record_size` bytes of record *index*."""
+        if not 0 <= index < self._count:
+            raise BamxFormatError(
+                f"record index {index} outside [0, {self._count})",
+                source=self.source_name)
+        self._bgzf.seek_virtual(int(self._voffsets[index]))
+        return self._bgzf.read_exactly(self.layout.record_size)
+
+    def read_raw_batches(self, start: int, stop: int,
+                         batch_size: int = 0,
+                         ) -> Iterator[tuple[memoryview, int]]:
+        """Yield ``(slab, count)`` raw-record slabs for ``[start, stop)``.
+
+        Same contract as
+        :meth:`~repro.formats.bamx.BamxReader.read_raw_batches`:
+        records are contiguous in the decompressed stream, so one seek
+        plus sequential slab reads suffices.
+        """
         if not 0 <= start <= stop <= self._count:
             raise BamxFormatError(
                 f"record range [{start}, {stop}) outside "
                 f"[0, {self._count})")
         if start == stop:
             return
-        self._bgzf.seek_virtual(int(self._voffsets[start]))
         rsize = self.layout.record_size
-        for _ in range(stop - start):
-            data = self._bgzf.read_exactly(rsize)
-            yield self.layout.decode(data, self.header)
+        per_slab = batch_size if batch_size > 0 \
+            else max(1, (4 << 20) // max(rsize, 1))
+        self._bgzf.seek_virtual(int(self._voffsets[start]))
+        remaining = stop - start
+        while remaining > 0:
+            n = min(per_slab, remaining)
+            yield memoryview(self._bgzf.read_exactly(n * rsize)), n
+            remaining -= n
+
+    def read_range(self, start: int, stop: int,
+                   ) -> Iterator[AlignmentRecord]:
+        """Yield records ``start <= i < stop``, decoding sequentially
+        from one seek."""
+        rsize = self.layout.record_size
+        for data, n in self.read_raw_batches(start, stop):
+            # Full decode touches every field; see BamxReader.read_range.
+            data = bytes(data)
+            for i in range(n):
+                yield self.layout.decode(data, self.header, i * rsize)
 
     def __iter__(self) -> Iterator[AlignmentRecord]:
         return self.read_range(0, self._count)

@@ -75,15 +75,16 @@ def unpack_sequence(packed: bytes, length: int) -> str:
 
 def encode_qualities(scores: list[int] | bytes) -> str:
     """Encode raw Phred scores to a Phred+33 ASCII string."""
+    # A single range check: bytes() already rejects values outside
+    # [0, 255], so only the (0, MAX_PHRED] ceiling needs a second look.
     try:
         raw = bytes(scores)
+        if raw and max(raw) > MAX_PHRED:
+            raise ValueError
     except ValueError:
         bad = next(q for q in scores if not 0 <= q <= MAX_PHRED)
         raise FormatError(
             f"Phred score {bad} outside [0, {MAX_PHRED}]") from None
-    if raw and max(raw) > MAX_PHRED:
-        bad = max(raw)
-        raise FormatError(f"Phred score {bad} outside [0, {MAX_PHRED}]")
     return raw.translate(_RAW_TO_PHRED33).decode("latin-1")
 
 
@@ -121,7 +122,8 @@ def validate_seq(seq: str) -> str:
     """
     if seq == "*":
         return seq
-    for base in seq:
-        if base not in _CODE_OF:
-            raise FormatError(f"invalid nucleotide {base!r} in sequence")
+    # Superset check runs at C speed; only the error path scans.
+    if not _VALID_BASES.issuperset(seq):
+        bad = next(b for b in seq if b not in _VALID_BASES)
+        raise FormatError(f"invalid nucleotide {bad!r} in sequence")
     return seq
