@@ -56,21 +56,22 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     if source.endswith(".sam"):
         result = SamConverter(
             batch_size=args.batch_size,
-            pipeline=args.pipeline).convert(args.input, args.target,
-                                            args.out_dir, args.nprocs,
-                                            args.executor,
-                                            record_filter=record_filter)
+            pipeline=args.pipeline,
+            shards_per_rank=args.shards).convert(
+                args.input, args.target, args.out_dir, args.nprocs,
+                args.executor, record_filter=record_filter)
     elif source.endswith((".bamx", ".bamz")):
         result = BamConverter(
             batch_size=args.batch_size,
-            pipeline=args.pipeline).convert(args.input, args.target,
-                                            args.out_dir, args.nprocs,
-                                            args.executor,
-                                            record_filter=record_filter)
+            pipeline=args.pipeline,
+            shards_per_rank=args.shards).convert(
+                args.input, args.target, args.out_dir, args.nprocs,
+                args.executor, record_filter=record_filter)
     elif source.endswith(".bam"):
         from .core import PreprocArtifacts
         converter = BamConverter(batch_size=args.batch_size,
-                                 pipeline=args.pipeline)
+                                 pipeline=args.pipeline,
+                                 shards_per_rank=args.shards)
         supplied = PreprocArtifacts.for_store(args.bamx, args.baix) \
             if args.bamx else None
         artifacts, pre = converter.ensure_preprocessed(
@@ -105,7 +106,8 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
         print(f"sequential preprocessing: {metrics.records} records, "
               f"{metrics.total_seconds:.2f}s\n  {bamx}\n  {baix}")
     elif source.endswith(".sam"):
-        paths, metrics = PreprocSamConverter().preprocess(
+        paths, metrics = PreprocSamConverter(
+            shards_per_rank=args.shards).preprocess(
             args.input, args.work_dir, args.nprocs, args.executor)
         total = sum(m.records for m in metrics)
         print(f"parallel preprocessing ({args.nprocs} ranks): "
@@ -123,7 +125,8 @@ def _cmd_region(args: argparse.Namespace) -> int:
         else None
     result = BamConverter(
         batch_size=args.batch_size,
-        pipeline=args.pipeline).convert_region(
+        pipeline=args.pipeline,
+        shards_per_rank=args.shards).convert_region(
         args.bamx, args.baix, args.region, args.target, args.out_dir,
         args.nprocs, args.executor, mode=args.mode,
         record_filter=record_filter)
@@ -282,7 +285,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ConversionService, ServiceDaemon
     service = ConversionService(args.work_dir, workers=args.workers,
                                 cache_dir=args.cache_dir,
-                                cache_max_bytes=args.cache_max_bytes)
+                                cache_max_bytes=args.cache_max_bytes,
+                                shards_per_rank=args.shards)
     daemon = ServiceDaemon(service, args.socket)
     print(f"repro service listening on {args.socket} "
           f"({args.workers} workers, cache at {service.cache.cache_dir})")
@@ -291,6 +295,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down")
         daemon.stop()
+    finally:
+        from .runtime.executor import reset_shared_executor
+        reset_shared_executor()  # don't leave warm workers behind
     return 0
 
 
@@ -305,6 +312,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     params = {"input": args.input, "target": args.target,
               "out_dir": args.out_dir, "nprocs": args.nprocs,
               "executor": args.executor}
+    if args.shards != 1:
+        params["shards"] = args.shards
     if args.filter:
         params["filter"] = args.filter
     kind = "convert"
@@ -392,6 +401,16 @@ def _add_pipeline_arguments(p: argparse.ArgumentParser) -> None:
                         "and per-target fastpaths; 'record' keeps the "
                         "record-at-a-time path (outputs are "
                         "byte-identical)")
+    _add_shards_argument(p)
+
+
+def _add_shards_argument(p: argparse.ArgumentParser) -> None:
+    """The dynamic over-decomposition knob."""
+    p.add_argument("--shards", type=int, default=1,
+                   help="shards per rank for dynamic load balancing on "
+                        "the shared worker pool; 1 (default) keeps the "
+                        "paper-faithful static one-task-per-rank "
+                        "schedule (outputs are byte-identical)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -445,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(BAM input only)")
     p.add_argument("--executor", default="simulate",
                    choices=("simulate", "thread", "process"))
+    _add_shards_argument(p)
     p.set_defaults(fn=_cmd_preprocess)
 
     p = sub.add_parser("sort", help="coordinate-sort a SAM/BAM file "
@@ -563,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact cache dir (default <work-dir>/cache)")
     p.add_argument("--cache-max-bytes", type=int, default=None,
                    help="LRU size cap for the artifact cache")
+    _add_shards_argument(p)
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit a conversion job to a "
@@ -583,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("simulate", "thread", "process"))
     p.add_argument("--filter", default=None,
                    help="record filter, e.g. 'q=30,F=0x400,primary'")
+    _add_shards_argument(p)
     p.add_argument("--priority", type=int, default=0,
                    help="higher runs first (default 0)")
     p.add_argument("--timeout", type=float, default=None,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import ConversionError
 from ..formats import batch as batch_codec
@@ -40,7 +40,8 @@ from ..runtime.metrics import RankMetrics
 from ..runtime.partition import partition_records
 from ..runtime.tracing import get_tracer
 from .base import ConversionResult, bind_target, emit_records, \
-    execute_rank_tasks, finish_rank_metrics, make_output_path
+    execute_rank_tasks, finish_rank_metrics, make_output_path, \
+    merge_shard_outputs
 from .filters import ACCEPT_ALL, RecordFilter
 from .region import GenomicRegion
 from .targets import get_target
@@ -180,6 +181,39 @@ class BamxRangeSpec:
     record_filter: RecordFilter = ACCEPT_ALL
     batch_size: int = DEFAULT_BATCH_SIZE
     pipeline: str = "batch"
+    write_header: bool = True
+
+    def cost_hint(self) -> float:
+        """Relative shard size: BAMX records to convert."""
+        return float(self.stop - self.start)
+
+    def split(self, n: int) -> "list[BamxRangeSpec]":
+        """Over-decompose this rank's record range into <= *n* shards.
+
+        BAMX records are fixed-size, so the split is an exact count
+        split; shards write ``.shardNN`` files (header on shard 0 only)
+        that :meth:`merge_shards` concatenates.  Binary targets
+        decline.
+        """
+        count = self.stop - self.start
+        if n <= 1 or count <= 1 \
+                or get_target(self.target).mode == "binary":
+            return [self]
+        parts = [(s, e) for s, e in partition_records(count, n) if e > s]
+        if len(parts) <= 1:
+            return [self]
+        return [replace(self,
+                        start=self.start + s,
+                        stop=self.start + e,
+                        out_path=f"{self.out_path}.shard{i:02d}",
+                        write_header=(i == 0))
+                for i, (s, e) in enumerate(parts)]
+
+    def merge_shards(self, shard_specs: "list[BamxRangeSpec]",
+                     shard_results: list[RankMetrics]) -> RankMetrics:
+        """Ordered reducer: concatenate shard files into ``out_path``."""
+        return merge_shard_outputs(self.out_path, shard_specs,
+                                   shard_results)
 
 
 @dataclass(frozen=True, slots=True)
@@ -193,6 +227,32 @@ class BamxPickSpec:
     record_filter: RecordFilter = ACCEPT_ALL
     batch_size: int = DEFAULT_BATCH_SIZE
     pipeline: str = "batch"
+    write_header: bool = True
+
+    def cost_hint(self) -> float:
+        """Relative shard size: records to random-access."""
+        return float(len(self.indices))
+
+    def split(self, n: int) -> "list[BamxPickSpec]":
+        """Over-decompose this rank's index list into <= *n* shards."""
+        count = len(self.indices)
+        if n <= 1 or count <= 1 \
+                or get_target(self.target).mode == "binary":
+            return [self]
+        parts = [(s, e) for s, e in partition_records(count, n) if e > s]
+        if len(parts) <= 1:
+            return [self]
+        return [replace(self,
+                        indices=self.indices[s:e],
+                        out_path=f"{self.out_path}.shard{i:02d}",
+                        write_header=(i == 0))
+                for i, (s, e) in enumerate(parts)]
+
+    def merge_shards(self, shard_specs: "list[BamxPickSpec]",
+                     shard_results: list[RankMetrics]) -> RankMetrics:
+        """Ordered reducer: concatenate shard files into ``out_path``."""
+        return merge_shard_outputs(self.out_path, shard_specs,
+                                   shard_results)
 
 
 def _bamx_range_task(spec: BamxRangeSpec) -> RankMetrics:
@@ -214,7 +274,7 @@ def _bamx_range_task(spec: BamxRangeSpec) -> RankMetrics:
             records = spec.record_filter.apply(
                 reader.read_range(spec.start, spec.stop))
             _write_target(records, target, reader.header, spec.out_path,
-                          metrics)
+                          metrics, spec.write_header)
     return finish_rank_metrics(metrics, t0)
 
 
@@ -236,7 +296,7 @@ def _bamx_pick_task(spec: BamxPickSpec) -> RankMetrics:
             records = spec.record_filter.apply(
                 reader[i] for i in spec.indices)
             _write_target(records, target, reader.header, spec.out_path,
-                          metrics)
+                          metrics, spec.write_header)
     return finish_rank_metrics(metrics, t0)
 
 
@@ -260,7 +320,7 @@ def _write_target_batched(slabs, reader, target, spec,
                               "target": spec.target}) as span, \
             BufferedTextWriter(spec.out_path, metrics=metrics) as writer:
         head = target.file_header(header)
-        if head:
+        if head and spec.write_header:
             writer.write_text(head)
         out_lines: list[str] = []
         for buf, count in slabs:
@@ -287,14 +347,16 @@ def _write_target_batched(slabs, reader, target, spec,
 
 
 def _write_target(records, target, header: SamHeader, out_path: str,
-                  metrics: RankMetrics) -> None:
+                  metrics: RankMetrics, write_header: bool = True) -> None:
     with get_tracer().span("write", "io",
                            args={"out": os.path.basename(out_path)}):
-        _write_target_inner(records, target, header, out_path, metrics)
+        _write_target_inner(records, target, header, out_path, metrics,
+                            write_header)
 
 
 def _write_target_inner(records, target, header: SamHeader, out_path: str,
-                        metrics: RankMetrics) -> None:
+                        metrics: RankMetrics,
+                        write_header: bool = True) -> None:
     if target.mode == "binary":
         from ..formats.bam import BamWriter
         writer = BamWriter(out_path, header)
@@ -309,7 +371,7 @@ def _write_target_inner(records, target, header: SamHeader, out_path: str,
     else:
         with BufferedTextWriter(out_path, metrics=metrics) as writer:
             head = target.file_header(header)
-            if head:
+            if head and write_header:
                 writer.write_text(head)
             emit_records(records, target, writer, metrics)
 
@@ -325,10 +387,16 @@ class BamConverter:
         ``"batch"`` (default) converts raw record slabs through the
         field-level fastpaths; ``"record"`` decodes every record.
         Outputs are byte-identical.
+    shards_per_rank:
+        Over-decomposition factor: each rank's record range is split
+        into up to this many shards pulled dynamically by the shared
+        worker pool.  ``1`` (default) is the paper-faithful static
+        schedule.
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
-                 pipeline: str = "batch") -> None:
+                 pipeline: str = "batch",
+                 shards_per_rank: int = 1) -> None:
         if pipeline not in PIPELINES:
             raise ConversionError(
                 f"unknown pipeline {pipeline!r}; choose one of "
@@ -336,8 +404,12 @@ class BamConverter:
         if batch_size < 1:
             raise ConversionError(
                 f"batch_size {batch_size} must be >= 1")
+        if shards_per_rank < 1:
+            raise ConversionError(
+                f"shards_per_rank {shards_per_rank} must be >= 1")
         self.batch_size = batch_size
         self.pipeline = pipeline
+        self.shards_per_rank = shards_per_rank
 
     def preprocess(self, bam_path: str | os.PathLike[str],
                    work_dir: str | os.PathLike[str],
@@ -411,8 +483,9 @@ class BamConverter:
                 for rank, (start, stop)
                 in enumerate(partition_records(count, nprocs))
             ]
-            rank_metrics = execute_rank_tasks(_bamx_range_task, specs,
-                                              executor)
+            rank_metrics = execute_rank_tasks(
+                _bamx_range_task, specs, executor,
+                shards_per_rank=self.shards_per_rank)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],
@@ -489,8 +562,9 @@ class BamConverter:
                 for rank, (start, stop)
                 in enumerate(partition_records(len(indices), nprocs))
             ]
-            rank_metrics = execute_rank_tasks(_bamx_pick_task, specs,
-                                              executor)
+            rank_metrics = execute_rank_tasks(
+                _bamx_pick_task, specs, executor,
+                shards_per_rank=self.shards_per_rank)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],
@@ -576,8 +650,9 @@ class BamConverter:
                 for rank, (start, stop)
                 in enumerate(partition_records(len(indices), nprocs))
             ]
-            rank_metrics = execute_rank_tasks(_bamx_pick_task, specs,
-                                              executor)
+            rank_metrics = execute_rank_tasks(
+                _bamx_pick_task, specs, executor,
+                shards_per_rank=self.shards_per_rank)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],

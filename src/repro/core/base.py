@@ -16,10 +16,10 @@ common machinery:
 
 from __future__ import annotations
 
-import multiprocessing as mp
+import os
+import shutil
 import time
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -27,6 +27,7 @@ from ..errors import ConversionError, RuntimeLayerError
 from ..formats.header import SamHeader
 from ..formats.record import AlignmentRecord
 from ..runtime.buffers import BufferedTextWriter
+from ..runtime.executor import get_shared_executor
 from ..runtime.metrics import RankMetrics
 from ..runtime.tracing import Tracer, get_tracer
 from .targets import TargetFormat
@@ -74,7 +75,8 @@ class ConversionResult:
 
 def execute_rank_tasks(task_fn: Callable[[Any], RankMetrics],
                        specs: Sequence[Any],
-                       executor: str = "simulate") -> list[RankMetrics]:
+                       executor: str = "simulate",
+                       shards_per_rank: int = 1) -> list[RankMetrics]:
     """Run ``task_fn(spec)`` once per rank spec; return per-rank metrics.
 
     Executors
@@ -85,28 +87,154 @@ def execute_rank_tasks(task_fn: Callable[[Any], RankMetrics],
         cluster model needs; this is the default and what the benches
         use.
     ``thread``
-        Ranks run on a thread pool (real concurrency, shared memory).
+        Ranks run on the shared persistent thread pool (real
+        concurrency, shared memory), capped at ``os.cpu_count()``
+        workers.
     ``process``
-        Ranks run in forked worker processes (true parallelism;
-        *task_fn* and specs must be picklable).
+        Ranks run on the shared persistent process pool (true
+        parallelism; *task_fn* and specs must be picklable).  Workers
+        are forked where the platform supports it and spawned
+        otherwise.
+
+    Sharding
+    --------
+    With ``shards_per_rank > 1`` every spec that implements ``split(n)``
+    is over-decomposed into up to *n* shards, which the shared pool
+    pulls dynamically longest-first; per-shard results are folded back
+    to per-rank results via each spec's ``merge_shards`` (an ordered
+    reducer, so outputs stay byte-identical to the static run).  Specs
+    without ``split`` — and calls where nothing decomposes — fall back
+    to the static one-task-per-rank schedule.
     """
     if executor not in EXECUTORS:
         raise RuntimeLayerError(
             f"unknown executor {executor!r}; choose from {EXECUTORS}")
     if not specs:
         raise RuntimeLayerError("no rank specs to execute")
+    if shards_per_rank < 1:
+        raise RuntimeLayerError(
+            f"shards_per_rank must be >= 1, got {shards_per_rank}")
     tracer = get_tracer()
+    groups = _shard_plan(specs, shards_per_rank)
+    if groups is not None:
+        return _execute_sharded(task_fn, specs, groups, executor, tracer)
     if tracer.enabled:
         return _execute_rank_tasks_traced(task_fn, specs, executor,
                                           tracer)
     if executor == "simulate" or len(specs) == 1:
         return [task_fn(spec) for spec in specs]
-    if executor == "thread":
-        with ThreadPoolExecutor(max_workers=len(specs)) as pool:
-            return list(pool.map(task_fn, specs))
-    ctx = mp.get_context("fork")
-    with ctx.Pool(processes=min(len(specs), mp.cpu_count())) as pool:
-        return pool.map(task_fn, specs)
+    labels = [f"rank {rank}" for rank in range(len(specs))]
+    return get_shared_executor().map_tasks(task_fn, list(specs), executor,
+                                           labels=labels)
+
+
+def _shard_plan(specs: Sequence[Any], shards_per_rank: int,
+                ) -> list[list[Any]] | None:
+    """Split each spec into shards; ``None`` when nothing decomposes.
+
+    Specs opt in by implementing ``split(n) -> list[spec]``; a spec may
+    return ``[self]`` to decline (single record, binary target, ...).
+    Returning ``None`` keeps undecomposable workloads — sort/histogram/
+    flagstat specs, ``--shards 1`` — on the static path untouched.
+    """
+    if shards_per_rank <= 1:
+        return None
+    groups: list[list[Any]] = []
+    decomposed = False
+    for spec in specs:
+        split = getattr(spec, "split", None)
+        group = [spec] if split is None else split(shards_per_rank)
+        if not group:
+            raise RuntimeLayerError(
+                f"split() of {type(spec).__name__} returned no shards")
+        decomposed = decomposed or len(group) > 1
+        groups.append(group)
+    return groups if decomposed else None
+
+
+def _cost_hint(spec: Any) -> float:
+    """Relative size of a shard, for longest-first dispatch."""
+    hint = getattr(spec, "cost_hint", None)
+    return float(hint()) if hint is not None else 1.0
+
+
+def _execute_sharded(task_fn: Callable[[Any], RankMetrics],
+                     specs: Sequence[Any], groups: list[list[Any]],
+                     executor: str, tracer: Tracer) -> list[RankMetrics]:
+    """Run the over-decomposed schedule and reduce shards per rank.
+
+    Shards of all ranks are flattened into one work list and dispatched
+    longest-first; the shared pool's workers pull them dynamically, so
+    a skewed rank's extra shards land on whichever workers are free.
+    Results come back in flatten order, so the per-rank reduction sees
+    shards in shard order — the ordered reducer that keeps concatenated
+    outputs byte-identical.
+    """
+    entries = [(rank, shard_idx, shard)
+               for rank, group in enumerate(groups)
+               for shard_idx, shard in enumerate(group)]
+    labels = [f"rank {rank} shard {shard_idx}"
+              for rank, shard_idx, _ in entries]
+    costs = [_cost_hint(shard) for _, _, shard in entries]
+    parent_id = None
+    if tracer.enabled:
+        caller = tracer.current_span()
+        parent_id = caller.span_id if caller is not None else None
+    if executor == "simulate":
+        if tracer.enabled:
+            results = [_shard_span_call(task_fn, tracer, rank, shard_idx,
+                                        shard, parent_id)
+                       for rank, shard_idx, shard in entries]
+        else:
+            results = [task_fn(shard) for _, _, shard in entries]
+    elif tracer.enabled and executor == "thread":
+        payloads = [(task_fn, tracer, rank, shard_idx, shard, parent_id)
+                    for rank, shard_idx, shard in entries]
+        results = get_shared_executor().map_tasks(
+            _shard_span_entry, payloads, "thread",
+            labels=labels, costs=costs)
+    elif tracer.enabled:
+        payloads = [(task_fn, tracer.epoch, rank, shard_idx, shard)
+                    for rank, shard_idx, shard in entries]
+        gathered = get_shared_executor().map_tasks(
+            _traced_process_shard, payloads, "process",
+            labels=labels, costs=costs)
+        results = []
+        for result, span_dicts, rank in gathered:
+            tracer.ingest(span_dicts, rank=rank, parent_id=parent_id)
+            results.append(result)
+    else:
+        results = get_shared_executor().map_tasks(
+            task_fn, [shard for _, _, shard in entries], executor,
+            labels=labels, costs=costs)
+    by_rank: list[list[Any]] = [[] for _ in specs]
+    for (rank, _, _), result in zip(entries, results):
+        by_rank[rank].append(result)
+    out = []
+    for spec, group, shard_results in zip(specs, groups, by_rank):
+        if len(group) == 1:
+            out.append(shard_results[0])
+        else:
+            out.append(spec.merge_shards(group, shard_results))
+    return out
+
+
+def merge_shard_outputs(out_path: str, shard_specs: Sequence[Any],
+                        shard_metrics: Sequence[RankMetrics],
+                        ) -> RankMetrics:
+    """Ordered reducer: concatenate shard part files into *out_path*.
+
+    Shard files are appended in shard order (shard 0 carries the header)
+    and removed afterwards, so the rank's output file is byte-identical
+    to the one an unsharded rank task would have written.  Returns the
+    rank-level metrics fold of *shard_metrics*.
+    """
+    with open(out_path, "wb") as dst:
+        for shard in shard_specs:
+            with open(shard.out_path, "rb") as src:
+                shutil.copyfileobj(src, dst)
+            os.remove(shard.out_path)
+    return RankMetrics.merge_shards(list(shard_metrics))
 
 
 def _rank_span_call(task_fn: Callable[[Any], RankMetrics],
@@ -124,9 +252,34 @@ def _rank_span_call(task_fn: Callable[[Any], RankMetrics],
         return task_fn(spec)
 
 
+def _rank_span_entry(payload: tuple) -> RankMetrics:
+    """Single-argument adapter for pooled :func:`_rank_span_call`."""
+    task_fn, tracer, rank, spec, parent_id = payload
+    return _rank_span_call(task_fn, tracer, rank, spec, parent_id)
+
+
+def _shard_span_call(task_fn: Callable[[Any], RankMetrics],
+                     tracer: Tracer, rank: int, shard_idx: int,
+                     spec: Any, parent_id: int | None) -> Any:
+    """Run one shard task under a rank/shard-tagged span of *tracer*."""
+    with tracer.activate(), tracer.rank_context(rank), \
+            tracer.span("shard", "rank", rank=rank,
+                        args={"task": task_fn.__name__, "rank": rank,
+                              "shard": shard_idx},
+                        parent_id=parent_id):
+        return task_fn(spec)
+
+
+def _shard_span_entry(payload: tuple) -> Any:
+    """Single-argument adapter for pooled :func:`_shard_span_call`."""
+    task_fn, tracer, rank, shard_idx, spec, parent_id = payload
+    return _shard_span_call(task_fn, tracer, rank, shard_idx, spec,
+                            parent_id)
+
+
 def _traced_process_rank(payload: tuple) -> tuple:
     """Child-process entry: record spans locally, return them for
-    gathering (module-level so the fork pool can pickle it)."""
+    gathering (module-level so the worker pool can pickle it)."""
     task_fn, epoch, rank, spec = payload
     child = Tracer(enabled=True, epoch=epoch)
     with child.activate(), child.rank_context(rank), \
@@ -136,10 +289,22 @@ def _traced_process_rank(payload: tuple) -> tuple:
     return metrics, [s.to_dict() for s in child.spans()], rank
 
 
+def _traced_process_shard(payload: tuple) -> tuple:
+    """Child-process entry for one shard; spans tagged rank/shard."""
+    task_fn, epoch, rank, shard_idx, spec = payload
+    child = Tracer(enabled=True, epoch=epoch)
+    with child.activate(), child.rank_context(rank), \
+            child.span("shard", "rank", rank=rank,
+                       args={"task": task_fn.__name__, "rank": rank,
+                             "shard": shard_idx}):
+        result = task_fn(spec)
+    return result, [s.to_dict() for s in child.spans()], rank
+
+
 def _execute_rank_tasks_traced(task_fn: Callable[[Any], RankMetrics],
                                specs: Sequence[Any], executor: str,
                                tracer: Tracer) -> list[RankMetrics]:
-    """Traced variant of :func:`execute_rank_tasks`.
+    """Traced variant of :func:`execute_rank_tasks` (static schedule).
 
     Simulate/thread ranks record straight into the shared tracer (its
     span stack is per-thread); process ranks record into a child tracer
@@ -151,17 +316,16 @@ def _execute_rank_tasks_traced(task_fn: Callable[[Any], RankMetrics],
     if executor == "simulate" or len(specs) == 1:
         return [_rank_span_call(task_fn, tracer, rank, spec, parent_id)
                 for rank, spec in enumerate(specs)]
+    labels = [f"rank {rank}" for rank in range(len(specs))]
     if executor == "thread":
-        with ThreadPoolExecutor(max_workers=len(specs)) as pool:
-            futures = [pool.submit(_rank_span_call, task_fn, tracer,
-                                   rank, spec, parent_id)
-                       for rank, spec in enumerate(specs)]
-            return [future.result() for future in futures]
-    ctx = mp.get_context("fork")
+        payloads = [(task_fn, tracer, rank, spec, parent_id)
+                    for rank, spec in enumerate(specs)]
+        return get_shared_executor().map_tasks(
+            _rank_span_entry, payloads, "thread", labels=labels)
     payloads = [(task_fn, tracer.epoch, rank, spec)
                 for rank, spec in enumerate(specs)]
-    with ctx.Pool(processes=min(len(specs), mp.cpu_count())) as pool:
-        gathered = pool.map(_traced_process_rank, payloads)
+    gathered = get_shared_executor().map_tasks(
+        _traced_process_rank, payloads, "process", labels=labels)
     out = []
     for metrics, span_dicts, rank in gathered:
         tracer.ingest(span_dicts, rank=rank, parent_id=parent_id)

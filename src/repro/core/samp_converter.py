@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import ConversionError
 from ..formats.baix import BaixIndex, default_index_path
@@ -25,6 +25,7 @@ from ..formats.batch import DEFAULT_BATCH_SIZE, parse_sam_lines
 from ..formats.header import SamHeader
 from ..runtime.buffers import RangeLineReader
 from ..runtime.metrics import RankMetrics
+from ..runtime.partition import partition_bytes_source
 from ..runtime.tracing import get_tracer
 from .base import ConversionResult, execute_rank_tasks, \
     finish_rank_metrics
@@ -43,28 +44,72 @@ class PreprocessSpec:
     header_text: str
     read_chunk: int
     batch_size: int = DEFAULT_BATCH_SIZE
+    parse_only: bool = False
+
+    def cost_hint(self) -> float:
+        """Relative shard size: bytes of SAM text to parse."""
+        return float(self.end - self.start)
+
+    def split(self, n: int) -> "list[PreprocessSpec]":
+        """Over-decompose this rank's byte range into <= *n* shards.
+
+        The BAMX layout is planned over *all* of the rank's records, so
+        shards cannot write independent store fragments; they run the
+        parse phase only (returning their record lists) and
+        :meth:`merge_shards` concatenates the records in shard order
+        before running the layout/write/index phase exactly as the
+        unsharded task would — byte-identical BAMX/BAIX output.
+        """
+        if n <= 1 or self.end - self.start <= 1:
+            return [self]
+        length = self.end - self.start
+        with open(self.sam_path, "rb") as fh:
+            def read_at(offset: int, size: int) -> bytes:
+                fh.seek(self.start + offset)
+                return fh.read(size)
+            parts = partition_bytes_source(read_at, length, n)
+        parts = [p for p in parts if p.length > 0]
+        if len(parts) <= 1:
+            return [self]
+        return [replace(self,
+                        start=self.start + p.start,
+                        end=self.start + p.end,
+                        parse_only=True)
+                for p in parts]
+
+    def merge_shards(self, shard_specs: "list[PreprocessSpec]",
+                     shard_results: list[tuple]) -> RankMetrics:
+        """Reduce parse-only shard results to one BAMX/BAIX pair."""
+        parse_metrics = RankMetrics.merge_shards(
+            [metrics for metrics, _ in shard_results])
+        records = [record for _, shard_records in shard_results
+                   for record in shard_records]
+        t0 = time.perf_counter()
+        write_metrics = RankMetrics()
+        _write_rank_store(self, records, write_metrics)
+        finish_rank_metrics(write_metrics, t0)
+        return parse_metrics.merge(write_metrics)
 
 
-def _preprocess_rank_task(spec: PreprocessSpec) -> RankMetrics:
-    """Parse one SAM partition and write it as an aligned BAMX file.
-
-    The rank's records are held in memory between the layout-planning
-    pass and the write pass; with the even partitioning of Algorithm 1
-    each rank holds ~1/M of the dataset, which is the same working-set
-    assumption the paper's in-memory buffers make.
-    """
-    t0 = time.perf_counter()
-    metrics = RankMetrics()
-    tracer = get_tracer()
-    header = SamHeader.from_text(spec.header_text)
+def _parse_rank_records(spec: PreprocessSpec,
+                        metrics: RankMetrics) -> list:
+    """Parse the spec's SAM byte range into alignment records."""
     reader = RangeLineReader(spec.sam_path, spec.start, spec.end,
                              chunk_size=spec.read_chunk, metrics=metrics)
-    records = []
-    with tracer.span("parse", "samp",
-                     args={"batch_size": spec.batch_size}):
+    records: list = []
+    with get_tracer().span("parse", "samp",
+                           args={"batch_size": spec.batch_size}):
         for lines in reader.iter_batches(spec.batch_size):
             records.extend(parse_sam_lines(lines))
-        layout = plan_layout(records)
+    return records
+
+
+def _write_rank_store(spec: PreprocessSpec, records: list,
+                      metrics: RankMetrics) -> None:
+    """Plan the layout over *records* and write the BAMX/BAIX pair."""
+    tracer = get_tracer()
+    header = SamHeader.from_text(spec.header_text)
+    layout = plan_layout(records)
     with tracer.span("write", "samp", args={"records": len(records)}), \
             BamxWriter(spec.bamx_path, header, layout) as writer:
         index_entries = []
@@ -84,10 +129,30 @@ def _preprocess_rank_task(spec: PreprocessSpec) -> RankMetrics:
         from ..formats.baix2 import default_index_path as baix2_path
         BaixOverlapIndex.build(index_entries, header).save(
             baix2_path(spec.bamx_path))
-    metrics.records = len(records)
-    metrics.emitted = len(records)
     metrics.bytes_written += (os.path.getsize(spec.bamx_path)
                               + os.path.getsize(baix_path))
+
+
+def _preprocess_rank_task(spec: PreprocessSpec):
+    """Parse one SAM partition and write it as an aligned BAMX file.
+
+    The rank's records are held in memory between the layout-planning
+    pass and the write pass; with the even partitioning of Algorithm 1
+    each rank holds ~1/M of the dataset, which is the same working-set
+    assumption the paper's in-memory buffers make.
+
+    A ``parse_only`` shard stops after the parse phase and returns
+    ``(metrics, records)`` for the driver-side reduction
+    (:meth:`PreprocessSpec.merge_shards`).
+    """
+    t0 = time.perf_counter()
+    metrics = RankMetrics()
+    records = _parse_rank_records(spec, metrics)
+    metrics.records = len(records)
+    metrics.emitted = len(records)
+    if spec.parse_only:
+        return finish_rank_metrics(metrics, t0), records
+    _write_rank_store(spec, records, metrics)
     return finish_rank_metrics(metrics, t0)
 
 
@@ -96,10 +161,15 @@ class PreprocSamConverter:
 
     def __init__(self, read_chunk: int = 4 << 20,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 pipeline: str = "batch") -> None:
+                 pipeline: str = "batch",
+                 shards_per_rank: int = 1) -> None:
+        if shards_per_rank < 1:
+            raise ConversionError(
+                f"shards_per_rank {shards_per_rank} must be >= 1")
         self.read_chunk = read_chunk
         self.batch_size = batch_size
         self.pipeline = pipeline
+        self.shards_per_rank = shards_per_rank
 
     def preprocess(self, sam_path: str | os.PathLike[str],
                    work_dir: str | os.PathLike[str], nprocs: int = 1,
@@ -136,8 +206,9 @@ class PreprocSamConverter:
                 )
                 for p in partitions
             ]
-            metrics = execute_rank_tasks(_preprocess_rank_task, specs,
-                                         executor)
+            metrics = execute_rank_tasks(
+                _preprocess_rank_task, specs, executor,
+                shards_per_rank=self.shards_per_rank)
         return [s.bamx_path for s in specs], metrics
 
     def convert(self, bamx_paths: list[str], target: str,
@@ -155,7 +226,8 @@ class PreprocSamConverter:
         os.makedirs(out_dir, exist_ok=True)
         t0 = time.perf_counter()
         bam_converter = BamConverter(batch_size=self.batch_size,
-                                     pipeline=self.pipeline)
+                                     pipeline=self.pipeline,
+                                     shards_per_rank=self.shards_per_rank)
         outputs: list[str] = []
         # Rank r's total work is the sum of its share of every BAMX file,
         # matching the paper's one-file-at-a-time schedule.

@@ -212,11 +212,15 @@ def parallel_sort_sam(in_path: str | os.PathLike[str],
                       out_path: str | os.PathLike[str], nprocs: int,
                       work_dir: str | os.PathLike[str],
                       executor: str = "simulate",
+                      shards_per_rank: int = 1,
                       ) -> tuple[SortResult, list[RankMetrics]]:
     """Sort with parallel run generation (one sorted run per rank,
     Algorithm 1 partitioning) and a sequential k-way merge.
 
     Returns the overall result plus per-rank run-generation metrics.
+    *shards_per_rank* is accepted for interface symmetry with the
+    converters; sort run specs don't decompose (a run must be sorted
+    whole), so the schedule stays static.
     """
     if nprocs < 1:
         raise ConversionError(f"nprocs {nprocs} must be >= 1")
@@ -231,7 +235,8 @@ def parallel_sort_sam(in_path: str | os.PathLike[str],
                      header.to_text())
         for p in partitions
     ]
-    rank_metrics = execute_rank_tasks(_sort_rank_task, specs, executor)
+    rank_metrics = execute_rank_tasks(_sort_rank_task, specs, executor,
+                                      shards_per_rank=shards_per_rank)
     merge_metrics = RankMetrics()
     t_merge = time.perf_counter()
     out_header = header.with_sort_order("coordinate")

@@ -4,6 +4,10 @@ buffered metered I/O, and the simulated-cluster performance model."""
 from .buffers import BufferedBinaryWriter, BufferedTextWriter, \
     RangeLineReader
 from .comm import Communicator, SerialComm, ThreadComm
+from .executor import DEFAULT_IDLE_TIMEOUT, POOL_KINDS, \
+    ExecutorFailure, SharedExecutor, get_shared_executor, \
+    reset_shared_executor, resolve_start_method, \
+    shared_executor_stats, simulate_schedule
 from .metrics import DEFAULT_CLUSTER, ClusterModel, RankMetrics, \
     ServiceMetrics, SpeedupCurve, SpeedupPoint, \
     format_metrics_snapshot, merge_all, modeled_parallel_time, \
@@ -18,6 +22,10 @@ from .tracing import Span, Tracer, format_summary, format_tree, \
 __all__ = [
     "Communicator", "SerialComm", "ThreadComm",
     "run_spmd", "SpmdFailure", "BACKENDS",
+    "SharedExecutor", "ExecutorFailure", "get_shared_executor",
+    "reset_shared_executor", "shared_executor_stats",
+    "resolve_start_method", "simulate_schedule",
+    "POOL_KINDS", "DEFAULT_IDLE_TIMEOUT",
     "Span", "Tracer", "get_tracer", "install", "traced",
     "read_jsonl", "write_jsonl", "to_chrome_events", "write_chrome",
     "write_trace", "format_tree", "format_summary",

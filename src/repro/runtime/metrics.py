@@ -57,6 +57,29 @@ class RankMetrics:
             self.emitted + other.emitted,
         )
 
+    @classmethod
+    def merge_shards(cls, shards: "list[RankMetrics]") -> "RankMetrics":
+        """Fold the metrics of one rank's shards back into rank metrics.
+
+        Counters (bytes, records, emitted) sum — the rank moved all of
+        that data.  Time fields take the **max** over shards: shards of
+        one rank run concurrently on the shared pool, so the rank's
+        effective wall contribution is its slowest shard, not the sum
+        (summing would erase exactly the load-balancing gain the shards
+        exist to model).  Order-insensitive over the counters; max is
+        order-insensitive too, so the whole fold is.
+        """
+        if not shards:
+            raise RuntimeLayerError("no shard metrics to merge")
+        return cls(
+            compute_seconds=max(m.compute_seconds for m in shards),
+            io_seconds=max(m.io_seconds for m in shards),
+            bytes_read=sum(m.bytes_read for m in shards),
+            bytes_written=sum(m.bytes_written for m in shards),
+            records=sum(m.records for m in shards),
+            emitted=sum(m.emitted for m in shards),
+        )
+
     @contextmanager
     def timed_compute(self):
         """Context manager attributing the enclosed wall time to compute."""

@@ -63,22 +63,34 @@ class ConversionService:
         Worker threads draining the job queue.
     cache_max_bytes:
         LRU size cap for the artifact cache (``None`` = unbounded).
+    shards_per_rank:
+        Default over-decomposition factor for converter jobs; a job's
+        ``shards`` parameter overrides it.  All jobs share one
+        process-global :class:`~repro.runtime.executor.SharedExecutor`
+        — no per-job pool forking.
     """
 
     def __init__(self, work_dir: str | os.PathLike[str],
                  workers: int = 2,
                  cache_dir: str | os.PathLike[str] | None = None,
                  cache_max_bytes: int | None = None,
-                 metrics: ServiceMetrics | None = None) -> None:
+                 metrics: ServiceMetrics | None = None,
+                 shards_per_rank: int = 1) -> None:
+        from ..runtime.executor import shared_executor_stats
+        if shards_per_rank < 1:
+            raise ServiceError(
+                f"shards_per_rank {shards_per_rank} must be >= 1")
         self.work_dir = os.fspath(work_dir)
         os.makedirs(self.work_dir, exist_ok=True)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.shards_per_rank = shards_per_rank
         self.cache = ArtifactCache(
             cache_dir if cache_dir is not None
             else os.path.join(self.work_dir, "cache"),
             max_bytes=cache_max_bytes, metrics=self.metrics)
         self.pool = WorkerPool(self._run_job, workers=workers,
-                               metrics=self.metrics)
+                               metrics=self.metrics,
+                               stats_source=shared_executor_stats)
 
     # -- submission API ---------------------------------------------
 
@@ -140,6 +152,7 @@ class ConversionService:
             if params.get("filter") else None
         nprocs = int(params.get("nprocs", 1))
         executor = params.get("executor", "simulate")
+        shards = int(params.get("shards", self.shards_per_rank))
         source = os.fspath(params["input"])
         lowered = source.lower()
         if job.kind == "preprocess":
@@ -150,7 +163,8 @@ class ConversionService:
         if job.kind == "region":
             store_path, baix_path, cache_state = self._store_for(
                 source, params)
-            result = BamConverter().convert_region(
+            result = BamConverter(
+                shards_per_rank=shards).convert_region(
                 store_path, baix_path, params["region"],
                 params["target"], params["out_dir"], nprocs, executor,
                 mode=params.get("mode", "start"),
@@ -158,12 +172,12 @@ class ConversionService:
             return _result_dict(result, cache_state)
         # kind == "convert"
         if lowered.endswith(".sam"):
-            result = SamConverter().convert(
+            result = SamConverter(shards_per_rank=shards).convert(
                 source, params["target"], params["out_dir"], nprocs,
                 executor, record_filter=record_filter)
             return _result_dict(result, None)
         store_path, _, cache_state = self._store_for(source, params)
-        result = BamConverter().convert(
+        result = BamConverter(shards_per_rank=shards).convert(
             store_path, params["target"], params["out_dir"], nprocs,
             executor, record_filter=record_filter)
         return _result_dict(result, cache_state)

@@ -69,13 +69,15 @@ def _histogram_rank_task(spec: _HistogramSpec,
 def histogram_parallel(sam_path: str | os.PathLike[str],
                        bin_size: int = 25, nprocs: int = 1,
                        executor: str = "simulate",
+                       shards_per_rank: int = 1,
                        ) -> tuple[dict[str, np.ndarray],
                                   list[RankMetrics]]:
     """Binned coverage histograms for every reference, in parallel.
 
     Returns ``({chrom: bins}, per-rank metrics)``; identical to
     :func:`repro.stats.histogram.histogram_from_records` over the same
-    file.
+    file.  *shards_per_rank* is accepted for interface symmetry;
+    histogram specs don't decompose, so the schedule stays static.
     """
     if nprocs < 1:
         raise ReproError(f"nprocs {nprocs} must be >= 1")
@@ -87,7 +89,8 @@ def histogram_parallel(sam_path: str | os.PathLike[str],
     partitions = partition_alignments(sam_path, nprocs, header_end)
     specs = [_HistogramSpec(sam_path, p.start, p.end, header.to_text(),
                             bin_size) for p in partitions]
-    outcomes = execute_rank_tasks(_histogram_rank_task, specs, executor)
+    outcomes = execute_rank_tasks(_histogram_rank_task, specs, executor,
+                                  shards_per_rank=shards_per_rank)
     totals: dict[str, np.ndarray] = {}
     metrics = []
     for rank_metrics, partial in outcomes:

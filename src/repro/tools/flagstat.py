@@ -152,14 +152,18 @@ def _flagstat_rank_task(spec: _FlagstatSpec,
 
 def flagstat_parallel(sam_path: str | os.PathLike[str], nprocs: int = 1,
                       executor: str = "simulate",
+                      shards_per_rank: int = 1,
                       ) -> tuple[FlagStats, list[RankMetrics]]:
     """Parallel flagstat over a SAM file: Algorithm-1 partitions,
-    per-rank counting, element-wise reduction."""
+    per-rank counting, element-wise reduction.  *shards_per_rank* is
+    accepted for interface symmetry; flagstat specs don't decompose,
+    so the schedule stays static."""
     sam_path = os.fspath(sam_path)
     _, header_end = scan_header(sam_path)
     partitions = partition_alignments(sam_path, nprocs, header_end)
     specs = [_FlagstatSpec(sam_path, p.start, p.end) for p in partitions]
-    outcomes = execute_rank_tasks(_flagstat_rank_task, specs, executor)
+    outcomes = execute_rank_tasks(_flagstat_rank_task, specs, executor,
+                                  shards_per_rank=shards_per_rank)
     total = FlagStats()
     metrics = []
     for rank_metrics, stats in outcomes:

@@ -2,6 +2,7 @@
 shape, message stress on the communicators, and cross-backend
 equivalence with the newest features (filters, BAMZ, overlap mode)."""
 
+import os
 import pickle
 
 import pytest
@@ -144,3 +145,70 @@ def test_thread_world_isolated_instances():
     b[0].send("for-b", dest=1)
     assert b[1].recv(0) == "for-b"
     assert a[1].recv(0) == "for-a"
+
+
+# -- shard-level robustness (dynamic-shard schedule) -----------------
+
+def _shard_crash(_item):
+    os._exit(3)
+
+
+def test_worker_crash_mid_shard_names_the_shard():
+    """A worker dying inside one shard must surface as an
+    ExecutorFailure naming that shard, and the shared pool must
+    survive to serve the next call."""
+    from repro.runtime.executor import ExecutorFailure, SharedExecutor
+    ex = SharedExecutor(max_workers=2, idle_timeout=0)
+    try:
+        with pytest.raises(ExecutorFailure) as err:
+            ex.map_tasks(_shard_crash, [0], "process",
+                         labels=["rank 1 shard 3"])
+        assert "rank 1 shard 3" in str(err.value)
+        # Next call on the same executor gets a fresh process pool.
+        assert ex.map_tasks(len, [[1, 2]], "process") == [2]
+        assert ex.stats()["process_pool_starts"] == 2
+    finally:
+        ex.shutdown()
+
+
+def test_conversion_survives_prior_pool_crash(sam_file, tmp_path):
+    """A crash in one job must not poison later conversions that use
+    the process-global pool."""
+    from repro.runtime.executor import (
+        ExecutorFailure,
+        get_shared_executor,
+        reset_shared_executor,
+    )
+    reset_shared_executor()
+    try:
+        with pytest.raises(ExecutorFailure):
+            get_shared_executor().map_tasks(_shard_crash, [0], "process")
+        sim = SamConverter().convert(sam_file, "bed", tmp_path / "sim",
+                                     nprocs=2)
+        after = SamConverter(shards_per_rank=3).convert(
+            sam_file, "bed", tmp_path / "after", nprocs=2,
+            executor="process")
+        assert cat(sim) == cat(after)
+    finally:
+        reset_shared_executor()
+
+
+def test_sharded_specs_are_picklable(sam_file, tmp_path):
+    """split() products (with write_header / parse_only fields) must
+    survive pickling just like their parent rank specs."""
+    from repro.core.sam_converter import SamRankSpec, scan_header
+    from repro.core.samp_converter import PreprocessSpec
+    _, header_end = scan_header(sam_file)
+    end = os.path.getsize(sam_file)
+    sam_spec = SamRankSpec(sam_file, header_end, end, "bed",
+                           str(tmp_path / "x.bed"), "", 4096,
+                           RecordFilter())
+    pre_spec = PreprocessSpec(sam_file, header_end, end,
+                              str(tmp_path / "x.bamx"), "", 4096)
+    for spec in (*sam_spec.split(3), *pre_spec.split(3)):
+        assert pickle.loads(pickle.dumps(spec)) == spec
+    shards = sam_spec.split(3)
+    assert len(shards) > 1
+    assert shards[0].write_header and not shards[1].write_header
+    pre_shards = pre_spec.split(3)
+    assert all(s.parse_only for s in pre_shards)

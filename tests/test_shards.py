@@ -1,0 +1,230 @@
+"""Byte-identity of the dynamic-shard schedule.
+
+The acceptance contract for over-decomposition: for every converter and
+every registered target, ``shards_per_rank > 1`` produces *exactly* the
+bytes of the static single-shard run, on every executor.  The shard
+reducer concatenates shard outputs in range order (only shard 0 writes
+the header), so equality is checked per part file, not just in
+aggregate.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    BamConverter,
+    PreprocSamConverter,
+    RecordFilter,
+    SamConverter,
+)
+from repro.core.targets import get_target, target_names
+
+EXECUTORS = ["simulate", "thread", "process"]
+
+
+def read_parts(result):
+    """``{basename: bytes}`` of a conversion result's output parts."""
+    return {os.path.basename(p): open(p, "rb").read()
+            for p in result.outputs}
+
+
+def read_tree(root):
+    """``{name: bytes}`` of every file under *root*."""
+    out = {}
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            path = os.path.join(dirpath, name)
+            out[os.path.relpath(path, root)] = open(path, "rb").read()
+    return out
+
+
+def assert_no_shard_leftovers(root):
+    for _dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            assert ".shard" not in name, \
+                f"leftover shard temporary {name}"
+
+
+# -- SamConverter: every target x every executor ---------------------
+
+@pytest.mark.parametrize("target", target_names())
+def test_sam_converter_sharded_identity_all_targets(sam_file, tmp_path,
+                                                    target):
+    static = SamConverter().convert(sam_file, target,
+                                    tmp_path / "static", nprocs=3)
+    for executor in EXECUTORS:
+        sharded = SamConverter(shards_per_rank=4).convert(
+            sam_file, target, tmp_path / f"dyn-{executor}", nprocs=3,
+            executor=executor)
+        assert read_parts(sharded) == read_parts(static), \
+            f"{target} via {executor}"
+        assert_no_shard_leftovers(tmp_path / f"dyn-{executor}")
+
+
+def test_binary_targets_decline_to_split(sam_file, tmp_path):
+    """Targets with a binary payload (BAM) can't be concatenated
+    text-wise; their specs must refuse split() and run static —
+    outputs still identical, schedule just not decomposed."""
+    from repro.core.sam_converter import SamRankSpec, scan_header
+    _, header_end = scan_header(sam_file)
+    spec = SamRankSpec(sam_file, header_end, os.path.getsize(sam_file),
+                       "bam", str(tmp_path / "x.bam"), "", 4096,
+                       RecordFilter())
+    assert get_target("bam").mode == "binary"
+    assert spec.split(4) == [spec]
+
+
+def test_sam_converter_sharded_with_filter(sam_file, tmp_path):
+    f = RecordFilter(min_mapq=30, primary_only=True)
+    static = SamConverter().convert(sam_file, "bed", tmp_path / "s",
+                                    nprocs=2, record_filter=f)
+    sharded = SamConverter(shards_per_rank=5).convert(
+        sam_file, "bed", tmp_path / "d", nprocs=2, executor="process",
+        record_filter=f)
+    assert read_parts(sharded) == read_parts(static)
+
+
+def test_shards_of_one_is_the_static_path(sam_file, tmp_path):
+    one = SamConverter(shards_per_rank=1).convert(
+        sam_file, "sam", tmp_path / "one", nprocs=2, executor="thread")
+    base = SamConverter().convert(sam_file, "sam", tmp_path / "base",
+                                  nprocs=2)
+    assert read_parts(one) == read_parts(base)
+
+
+# -- BamConverter: full convert + region picks -----------------------
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_bam_converter_sharded_identity(bam_file, tmp_path, executor):
+    converter = BamConverter()
+    bamx, baix, _ = converter.preprocess(bam_file, tmp_path / "w")
+    static = converter.convert(bamx, "sam", tmp_path / "static",
+                               nprocs=3)
+    sharded = BamConverter(shards_per_rank=4).convert(
+        bamx, "sam", tmp_path / f"dyn-{executor}", nprocs=3,
+        executor=executor)
+    assert read_parts(sharded) == read_parts(static)
+    assert_no_shard_leftovers(tmp_path / f"dyn-{executor}")
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_bam_region_sharded_identity(bam_file, tmp_path, executor):
+    converter = BamConverter()
+    bamx, baix, _ = converter.preprocess(bam_file, tmp_path / "w")
+    static = converter.convert_region(bamx, baix, "chr1:1-40000",
+                                      "sam", tmp_path / "static",
+                                      nprocs=2)
+    sharded = BamConverter(shards_per_rank=3).convert_region(
+        bamx, baix, "chr1:1-40000", "sam",
+        tmp_path / f"dyn-{executor}", nprocs=2, executor=executor)
+    assert read_parts(sharded) == read_parts(static)
+    assert_no_shard_leftovers(tmp_path / f"dyn-{executor}")
+
+
+@pytest.mark.parametrize("target", ["bed", "json"])
+def test_bam_converter_sharded_other_targets(bam_file, tmp_path,
+                                             target):
+    converter = BamConverter()
+    bamx, _baix, _ = converter.preprocess(bam_file, tmp_path / "w")
+    static = converter.convert(bamx, target, tmp_path / "static",
+                               nprocs=2)
+    sharded = BamConverter(shards_per_rank=4).convert(
+        bamx, target, tmp_path / "dyn", nprocs=2, executor="process")
+    assert read_parts(sharded) == read_parts(static)
+
+
+# -- PreprocSamConverter: BAMX store + indexes -----------------------
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_preprocess_sharded_identity(sam_file, tmp_path, executor):
+    _, static_metrics = PreprocSamConverter().preprocess(
+        sam_file, tmp_path / "static", nprocs=2)
+    _, sharded_metrics = PreprocSamConverter(
+        shards_per_rank=4).preprocess(
+        sam_file, tmp_path / f"dyn-{executor}", nprocs=2,
+        executor=executor)
+    assert read_tree(tmp_path / f"dyn-{executor}") == \
+        read_tree(tmp_path / "static")
+    assert [m.records for m in sharded_metrics] == \
+        [m.records for m in static_metrics]
+
+
+def test_preprocess_then_convert_sharded_end_to_end(sam_file, tmp_path):
+    static = PreprocSamConverter().convert_end_to_end(
+        sam_file, "bed", tmp_path / "sw", tmp_path / "static",
+        preprocess_procs=2, convert_procs=2)
+    sharded = PreprocSamConverter(shards_per_rank=3).convert_end_to_end(
+        sam_file, "bed", tmp_path / "dw", tmp_path / "dyn",
+        preprocess_procs=2, convert_procs=2, executor="process")
+    assert read_parts(sharded) == read_parts(static)
+
+
+# -- metrics fold ----------------------------------------------------
+
+def test_sharded_metrics_conserve_record_counts(sam_file, tmp_path):
+    """Per-rank metrics of a sharded run must fold back to the static
+    run's counters (records/emitted/bytes_read are sums over shards)."""
+    static = SamConverter().convert(sam_file, "bed", tmp_path / "s",
+                                    nprocs=3)
+    sharded = SamConverter(shards_per_rank=4).convert(
+        sam_file, "bed", tmp_path / "d", nprocs=3, executor="thread")
+    assert len(sharded.rank_metrics) == len(static.rank_metrics)
+    for dyn, stat in zip(sharded.rank_metrics, static.rank_metrics):
+        assert dyn.records == stat.records
+        assert dyn.emitted == stat.emitted
+        assert dyn.bytes_read == stat.bytes_read
+    assert sharded.records == static.records
+    assert sharded.emitted == static.emitted
+
+
+# -- CLI and service surfaces ----------------------------------------
+
+def test_cli_shards_flag_byte_identical(sam_file, tmp_path, capsys):
+    from repro.cli import main
+    assert main(["convert", str(sam_file), "--target", "bed",
+                 "--out-dir", str(tmp_path / "static"),
+                 "--nprocs", "2"]) == 0
+    assert main(["convert", str(sam_file), "--target", "bed",
+                 "--out-dir", str(tmp_path / "dyn"), "--nprocs", "2",
+                 "--shards", "4", "--executor", "thread"]) == 0
+    capsys.readouterr()
+    static = {p: open(os.path.join(tmp_path / "static", p), "rb").read()
+              for p in sorted(os.listdir(tmp_path / "static"))}
+    dyn = {p: open(os.path.join(tmp_path / "dyn", p), "rb").read()
+           for p in sorted(os.listdir(tmp_path / "dyn"))}
+    assert dyn == static
+
+
+def test_service_job_with_shards_param(sam_file, tmp_path):
+    from repro.runtime.executor import reset_shared_executor, \
+        shared_executor_stats
+    from repro.service.server import ConversionService
+    reset_shared_executor()
+    service = ConversionService(tmp_path / "svc", workers=1)
+    try:
+        static = service.submit("convert", {
+            "input": str(sam_file), "target": "bed",
+            "out_dir": str(tmp_path / "static"), "nprocs": 2})
+        dynamic = service.submit("convert", {
+            "input": str(sam_file), "target": "bed",
+            "out_dir": str(tmp_path / "dyn"), "nprocs": 2,
+            "shards": 4, "executor": "thread"})
+        assert service.pool.wait_all(timeout=60)
+        static_job = service.pool.get(static.job_id)
+        dynamic_job = service.pool.get(dynamic.job_id)
+        assert static_job.state.value == "done", static_job.error
+        assert dynamic_job.state.value == "done", dynamic_job.error
+
+        def job_bytes(job):
+            return {os.path.basename(p): open(p, "rb").read()
+                    for p in job.result["outputs"]}
+        assert job_bytes(dynamic_job) == job_bytes(static_job)
+        # The scheduler mirrors shared-pool stats into gauges.
+        snapshot = service.metrics.snapshot()
+        gauges = snapshot["gauges"]
+        assert "executor_calls" in gauges
+        assert shared_executor_stats()["calls"] >= 1
+    finally:
+        service.close()
+        reset_shared_executor()
