@@ -282,16 +282,32 @@ def _cmd_peaks(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import ConversionService, ServiceDaemon
+    from .service import ConversionService, GatewayConfig, \
+        ServiceDaemon, protocol
+    if not args.socket and not args.listen:
+        print("serve needs --socket PATH and/or --listen HOST:PORT",
+              file=sys.stderr)
+        return 2
+    listen = protocol.parse_address(args.listen) if args.listen \
+        else None
+    config = GatewayConfig(max_pending_jobs=args.max_pending_jobs)
     service = ConversionService(args.work_dir, workers=args.workers,
                                 cache_dir=args.cache_dir,
                                 cache_max_bytes=args.cache_max_bytes,
                                 shards_per_rank=args.shards)
-    daemon = ServiceDaemon(service, args.socket)
-    print(f"repro service listening on {args.socket} "
-          f"({args.workers} workers, cache at {service.cache.cache_dir})")
+    daemon = ServiceDaemon(service, socket_path=args.socket,
+                           listen=listen, config=config)
     try:
-        daemon.serve_forever()
+        daemon.start()
+        endpoints = []
+        if args.socket:
+            endpoints.append(str(args.socket))
+        if daemon.tcp_address is not None:
+            endpoints.append("tcp://%s:%d" % daemon.tcp_address)
+        print(f"repro service listening on {' and '.join(endpoints)} "
+              f"({args.workers} workers, cache at "
+              f"{service.cache.cache_dir})", flush=True)
+        daemon.wait()
     except KeyboardInterrupt:
         print("shutting down")
         daemon.stop()
@@ -301,6 +317,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_client(args: argparse.Namespace):
+    """Connect a ServiceClient from ``--socket``/``--connect`` flags.
+
+    Retries the connect with bounded backoff so racing a just-spawned
+    ``repro serve`` (listener not bound yet) does not fail hard.
+    """
+    from .service import ServiceClient, protocol
+    if getattr(args, "connect", None):
+        address: object = protocol.parse_address(args.connect)
+    else:
+        address = args.socket
+    return ServiceClient(address, connect_retries=3,
+                         connect_backoff=0.1)
+
+
 def _format_job_line(job: dict) -> str:
     error = f"  error: {job['error']}" if job.get("error") else ""
     return (f"{job['job_id']}  {job['kind']:<10} {job['state']:<9} "
@@ -308,7 +339,6 @@ def _format_job_line(job: dict) -> str:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service import ServiceClient
     params = {"input": args.input, "target": args.target,
               "out_dir": args.out_dir, "nprocs": args.nprocs,
               "executor": args.executor}
@@ -321,7 +351,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         kind = "region"
         params["region"] = args.region
         params["mode"] = args.mode
-    with ServiceClient(args.socket) as client:
+    with _service_client(args) as client:
         job = client.submit(kind, params, priority=args.priority,
                             timeout=args.timeout,
                             max_retries=args.max_retries)
@@ -346,8 +376,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 def _cmd_status(args: argparse.Namespace) -> int:
     from .runtime.metrics import format_metrics_snapshot
-    from .service import ServiceClient
-    with ServiceClient(args.socket) as client:
+    with _service_client(args) as client:
         if args.trace:
             from .runtime.tracing import format_tree, spans_from_dicts
             span_dicts = client.trace(args.trace)
@@ -371,8 +400,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_cancel(args: argparse.Namespace) -> int:
-    from .service import ServiceClient
-    with ServiceClient(args.socket) as client:
+    with _service_client(args) as client:
         cancelled = client.cancel(args.job)
     if cancelled:
         print(f"cancelled {args.job}")
@@ -388,6 +416,15 @@ def _cmd_formats(_args: argparse.Namespace) -> int:
         exts = ", ".join(info.extensions)
         print(f"{info.name:<10} {kind:<7} {exts:<20} {info.description}")
     return 0
+
+
+def _add_service_endpoint_arguments(p: argparse.ArgumentParser) -> None:
+    """--socket/--connect pair shared by the service client verbs."""
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--socket", default=None,
+                       help="service unix socket path")
+    group.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="service TCP address")
 
 
 def _add_pipeline_arguments(p: argparse.ArgumentParser) -> None:
@@ -573,8 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", help="run the conversion job service "
                                      "daemon")
-    p.add_argument("--socket", required=True,
+    p.add_argument("--socket", default=None,
                    help="unix socket path to listen on")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="also (or only) listen on TCP; port 0 binds "
+                        "an ephemeral port and reports it")
     p.add_argument("--work-dir", required=True,
                    help="service state root (cache lives below it)")
     p.add_argument("--workers", type=int, default=2,
@@ -583,14 +623,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact cache dir (default <work-dir>/cache)")
     p.add_argument("--cache-max-bytes", type=int, default=None,
                    help="LRU size cap for the artifact cache")
+    p.add_argument("--max-pending-jobs", type=int, default=1024,
+                   help="admission-control cap on queued jobs; "
+                        "submits beyond it get explicit 'overloaded' "
+                        "errors (default 1024)")
     _add_shards_argument(p)
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit a conversion job to a "
                                       "running service")
     p.add_argument("input", help=".sam, .bam, .bamx or .bamz input")
-    p.add_argument("--socket", required=True,
-                   help="service unix socket path")
+    _add_service_endpoint_arguments(p)
     p.add_argument("--target", required=True,
                    help="target format (see 'repro formats')")
     p.add_argument("--out-dir", required=True)
@@ -618,8 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
                                       "a running service")
     p.add_argument("job", nargs="?", default=None,
                    help="job id (all jobs when omitted)")
-    p.add_argument("--socket", required=True,
-                   help="service unix socket path")
+    _add_service_endpoint_arguments(p)
     p.add_argument("--metrics", action="store_true",
                    help="print the service metrics snapshot instead")
     p.add_argument("--trace", metavar="JOB", default=None,
@@ -629,8 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cancel", help="cancel a queued or running "
                                       "service job")
     p.add_argument("job", help="job id")
-    p.add_argument("--socket", required=True,
-                   help="service unix socket path")
+    _add_service_endpoint_arguments(p)
     p.set_defaults(fn=_cmd_cancel)
 
     p = sub.add_parser("formats", help="list supported formats")

@@ -89,3 +89,9 @@ class JobNotFoundError(ServiceError):
 
 class ProtocolError(ServiceError):
     """A client/daemon line-JSON message is malformed."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The gateway refused an operation because the service is at its
+    admission limit (or draining for shutdown).  Explicit backpressure:
+    callers should retry later instead of queueing unboundedly."""

@@ -149,6 +149,15 @@ class ServiceMetrics:
             count, total = self._timers.get(name, (0, 0.0))
             self._timers[name] = (count + 1, total + seconds)
 
+    @contextmanager
+    def timed(self, name: str):
+        """Context manager observing the enclosed wall time as *name*."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
+
     def counter(self, name: str) -> int:
         """Current value of counter *name* (zero if never incremented)."""
         with self._lock:

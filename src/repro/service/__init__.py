@@ -3,12 +3,16 @@
 Turns the one-shot converters into a service: jobs with priorities,
 timeouts and retries (:mod:`jobs`), a thread worker pool draining a
 priority queue (:mod:`scheduler`), a content-addressed cache of
-preprocessing artifacts with LRU eviction (:mod:`cache`), and a
-line-JSON daemon/client pair over a local unix socket
-(:mod:`server`, :mod:`protocol`).
+preprocessing artifacts with LRU eviction (:mod:`cache`), a line-JSON
+wire protocol (:mod:`protocol`), and the async gateway front door
+(:mod:`gateway`) multiplexing unix-socket and TCP clients with
+per-connection sessions, executor-backed dispatch and admission
+control (:mod:`server` wires it all together).
 """
 
 from .cache import ArtifactCache, CacheEntry, cache_key, content_digest
+from .gateway import AdmissionController, Dispatcher, FrameError, \
+    FrameReader, GatewayConfig, GatewayServer, Session
 from .jobs import Job, JobState
 from .scheduler import WorkerPool
 from .server import ConversionService, ServiceClient, ServiceDaemon
@@ -18,4 +22,6 @@ __all__ = [
     "WorkerPool",
     "ArtifactCache", "CacheEntry", "cache_key", "content_digest",
     "ConversionService", "ServiceDaemon", "ServiceClient",
+    "AdmissionController", "Dispatcher", "FrameError", "FrameReader",
+    "GatewayConfig", "GatewayServer", "Session",
 ]

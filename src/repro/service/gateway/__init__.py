@@ -1,0 +1,22 @@
+"""Async gateway subsystem for the conversion service.
+
+Layered front door replacing the blocking thread-per-connection
+daemon: transport (:mod:`.framing` + the asyncio servers in
+:mod:`.server`), session (:mod:`.session`), dispatch
+(:mod:`.dispatch`) and admission control (:mod:`.admission`).  See
+``docs/service.md`` for the architecture and backpressure semantics.
+"""
+
+from .admission import AdmissionController
+from .dispatch import Dispatcher
+from .framing import FrameError, FrameReader
+from .server import GatewayConfig, GatewayServer
+from .session import Session
+
+__all__ = [
+    "AdmissionController",
+    "Dispatcher",
+    "FrameError", "FrameReader",
+    "GatewayConfig", "GatewayServer",
+    "Session",
+]

@@ -1,0 +1,214 @@
+"""Op dispatch: protocol requests -> :class:`ConversionService` calls.
+
+Two entry points share one op switch:
+
+* :meth:`Dispatcher.handle_message` — the synchronous dispatch used by
+  the in-process compatibility path (``ServiceDaemon.handle_message``)
+  and, via ``run_in_executor``, by the async path for ops that touch
+  service locks.  It never raises; service errors become failure
+  envelopes.
+* :meth:`Dispatcher.dispatch` — the async path the gateway sessions
+  call.  Quick ops answer inline; blocking ops run on a dedicated
+  executor so the event loop never stalls; ``wait`` long-polls on the
+  event loop (an :mod:`asyncio` sleep loop at ``wait_poll_interval``,
+  no thread parked per waiter — thousands of concurrent waiters cost
+  thousands of timers, not thousands of threads); ``submit`` passes
+  through admission control first and is refused with an explicit
+  ``overloaded`` error at the limit.
+
+Every async request is wrapped in a ``gateway.<op>`` tracing span
+(free when tracing is disabled) and timed into the
+``gateway_request_seconds`` metric.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from ...errors import JobNotFoundError, ReproError
+from ...runtime.metrics import ServiceMetrics
+from ...runtime.tracing import get_tracer
+from .. import protocol
+from .admission import AdmissionController
+from .session import Session
+
+
+class Dispatcher:
+    """Routes protocol ops to a service behind admission control.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.service.server.ConversionService` (or any
+        object with its ``submit/status/wait/cancel/trace/
+        metrics_snapshot`` surface plus a ``pool`` attribute).
+    admission:
+        The gateway's :class:`AdmissionController`.
+    stop_callback:
+        Called (on a fresh thread) when a ``shutdown`` op is accepted.
+    wait_poll_interval:
+        Event-loop poll period for long-poll ``wait`` ops.
+    executor_threads:
+        Size of the dispatch thread pool backing ``run_in_executor``.
+    """
+
+    def __init__(self, service: Any, admission: AdmissionController,
+                 stop_callback: Callable[[], None] | None = None,
+                 wait_poll_interval: float = 0.02,
+                 executor_threads: int = 8) -> None:
+        self.service = service
+        self.admission = admission
+        self.metrics: ServiceMetrics = service.metrics
+        self._stop_callback = stop_callback
+        self._wait_poll_interval = wait_poll_interval
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads,
+            thread_name_prefix="repro-gateway-dispatch")
+
+    def close(self) -> None:
+        """Release the dispatch thread pool."""
+        self._executor.shutdown(wait=False)
+
+    # -- async path (gateway sessions) ------------------------------
+
+    async def dispatch(self, session: Session,
+                       message: dict[str, Any]) -> dict[str, Any]:
+        """Handle one request frame; never raises."""
+        op = message.get("op")
+        self.metrics.inc("gateway_requests_total")
+        with self.metrics.timed("gateway_request_seconds"), \
+                get_tracer().span(
+                    f"gateway.{op or 'unknown'}", "gateway",
+                    args={"session": session.session_id,
+                          "transport": session.transport}):
+            try:
+                return await self._dispatch_op(op, message)
+            except Exception as exc:  # noqa: BLE001 — session survives
+                return protocol.error_response(
+                    f"internal error handling {op!r}: "
+                    f"{type(exc).__name__}: {exc}")
+
+    async def _dispatch_op(self, op: str | None,
+                           message: dict[str, Any]) -> dict[str, Any]:
+        if op == "ping":
+            return protocol.ok_response(pong=True)
+        if op == "wait":
+            return await self._wait(message)
+        if op == "shutdown":
+            # The session writes the response first, then triggers
+            # request_stop() — see the gateway's write loop.
+            return protocol.ok_response(stopping=True)
+        if op == "submit":
+            refusal = self.admission.try_admit()
+            if refusal is not None:
+                return protocol.overloaded_response(refusal)
+            try:
+                return await self._in_executor(message)
+            finally:
+                self.admission.release()
+        return await self._in_executor(message)
+
+    async def _in_executor(self,
+                           message: dict[str, Any]) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self.handle_message, message)
+
+    async def _wait(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Server-side long poll: resolve on the event loop, cheaply.
+
+        Holds the request until the job is terminal or *timeout*
+        elapses, then returns the snapshot either way (mirroring
+        ``ConversionService.wait``).  No executor thread is parked —
+        the waiter is an asyncio sleep loop.
+        """
+        try:
+            job_id = message["job_id"]
+        except KeyError:
+            return protocol.error_response(
+                "request is missing field 'job_id'",
+                code=protocol.CODE_BAD_REQUEST)
+        try:
+            job = self.service.pool.get(job_id)
+        except JobNotFoundError as exc:
+            return protocol.error_response(
+                str(exc), code=protocol.CODE_JOB_NOT_FOUND)
+        timeout = message.get("timeout")
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None \
+            else loop.time() + float(timeout)
+        while not job.done.is_set():
+            if deadline is None:
+                await asyncio.sleep(self._wait_poll_interval)
+                continue
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            await asyncio.sleep(min(self._wait_poll_interval,
+                                    remaining))
+        return protocol.ok_response(job=job.to_dict())
+
+    def request_stop(self) -> None:
+        """Run the stop callback on its own thread (a shutdown op must
+        not stop the gateway from inside the event loop)."""
+        if self._stop_callback is not None:
+            threading.Thread(target=self._stop_callback,
+                             name="repro-gateway-stop",
+                             daemon=True).start()
+
+    # -- sync path (compat + executor target) -----------------------
+
+    def handle_message(self,
+                       message: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one protocol request synchronously; never raises.
+
+        This is the original ``ServiceDaemon.handle_message`` contract:
+        ``wait`` blocks the calling thread and ``shutdown`` fires the
+        stop callback directly.
+        """
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return protocol.ok_response(pong=True)
+            if op == "submit":
+                job = self.service.submit(
+                    kind=message.get("kind", "convert"),
+                    params=message.get("params", {}),
+                    priority=int(message.get("priority", 0)),
+                    timeout=message.get("timeout"),
+                    max_retries=int(message.get("max_retries", 0)),
+                    backoff=float(message.get("backoff", 0.1)))
+                return protocol.ok_response(job=job.to_dict())
+            if op == "status":
+                return protocol.ok_response(
+                    jobs=self.service.status(message.get("job_id")))
+            if op == "wait":
+                return protocol.ok_response(job=self.service.wait(
+                    message["job_id"], message.get("timeout")))
+            if op == "cancel":
+                return protocol.ok_response(
+                    cancelled=self.service.cancel(message["job_id"]))
+            if op == "trace":
+                return protocol.ok_response(
+                    spans=self.service.trace(message["job_id"]))
+            if op == "metrics":
+                return protocol.ok_response(
+                    metrics=self.service.metrics_snapshot())
+            if op == "shutdown":
+                self.request_stop()
+                return protocol.ok_response(stopping=True)
+            return protocol.error_response(
+                f"unknown op {op!r}; choose from {protocol.OPS}",
+                code=protocol.CODE_UNKNOWN_OP)
+        except KeyError as exc:
+            return protocol.error_response(
+                f"request is missing field {exc.args[0]!r}",
+                code=protocol.CODE_BAD_REQUEST)
+        except JobNotFoundError as exc:
+            return protocol.error_response(
+                str(exc), code=protocol.CODE_JOB_NOT_FOUND)
+        except ReproError as exc:
+            return protocol.error_response(str(exc))

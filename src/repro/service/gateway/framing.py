@@ -1,0 +1,118 @@
+"""Length-aware async framing for the line-JSON protocol.
+
+The wire format is the one defined in :mod:`repro.service.protocol`
+(one JSON object per newline-terminated line, ``MAX_LINE`` cap); this
+module adds the asyncio reader side with the robustness the blocking
+``readline`` path never had:
+
+* an **oversized** line (> ``MAX_LINE`` bytes before the newline) is
+  discarded up to and including its terminating newline and reported
+  as a :class:`FrameError` — the stream stays synchronized and the
+  session survives;
+* **malformed JSON** raises :class:`FrameError` with the decode detail
+  and likewise leaves the stream usable;
+* clean EOF returns ``None``; EOF in the middle of a line decodes the
+  partial line if it happens to be valid JSON (mirroring the blocking
+  reader), else reports a truncated frame.
+
+The reader keeps its own buffer rather than using
+``StreamReader.readuntil`` so that a cancelled read (the session's
+keepalive timeout) never loses buffered bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from ...errors import ProtocolError
+from .. import protocol
+
+#: Bytes pulled from the transport per read.
+_CHUNK = 1 << 16
+
+
+class FrameError(Exception):
+    """One frame was oversized or malformed; the stream is still
+    synchronized and the next :meth:`FrameReader.read_frame` call will
+    see the following line."""
+
+
+class FrameReader:
+    """Incremental line-JSON frame reader over an asyncio stream.
+
+    Parameters
+    ----------
+    reader:
+        The connection's :class:`asyncio.StreamReader`.
+    max_line:
+        Per-frame byte cap (defaults to :data:`protocol.MAX_LINE`).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 max_line: int = protocol.MAX_LINE) -> None:
+        self._reader = reader
+        self._max_line = max_line
+        self._buf = bytearray()
+        self._eof = False
+
+    async def read_frame(self) -> dict[str, Any] | None:
+        """One decoded frame; ``None`` on EOF; :class:`FrameError` on a
+        bad frame (stream remains usable afterwards)."""
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline > self._max_line:
+                del self._buf[:newline + 1]
+                raise FrameError(
+                    f"frame of {newline} bytes exceeds the "
+                    f"{self._max_line}-byte line cap")
+            if newline >= 0:
+                line = bytes(self._buf[:newline])
+                del self._buf[:newline + 1]
+                return self._decode(line)
+            if len(self._buf) > self._max_line:
+                discarded = await self._discard_line()
+                raise FrameError(
+                    f"frame of {discarded} bytes exceeds the "
+                    f"{self._max_line}-byte line cap")
+            if self._eof:
+                if not self._buf:
+                    return None
+                line = bytes(self._buf)
+                self._buf.clear()
+                return self._decode(line)
+            chunk = await self._reader.read(_CHUNK)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)
+
+    def _decode(self, line: bytes) -> dict[str, Any]:
+        try:
+            return protocol.decode(line)
+        except ProtocolError as exc:
+            raise FrameError(str(exc)) from None
+
+    async def _discard_line(self) -> int:
+        """Drop buffered + incoming bytes through the next newline.
+
+        Returns the number of bytes the oversized frame occupied (may
+        undercount if EOF cut it short — the count is for the error
+        message only).
+        """
+        discarded = 0
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline >= 0:
+                discarded += newline
+                del self._buf[:newline + 1]
+                return discarded
+            discarded += len(self._buf)
+            self._buf.clear()
+            if self._eof:
+                return discarded
+            chunk = await self._reader.read(_CHUNK)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)

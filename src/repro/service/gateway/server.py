@@ -1,0 +1,436 @@
+"""The async gateway: asyncio front door for the conversion service.
+
+One :class:`GatewayServer` multiplexes every client connection —
+over the local unix socket, over TCP (``--listen HOST:PORT``), or
+both — onto a single event loop running on a background thread.  The
+design follows the paper's decomposition discipline applied to the
+service's front door: ingest (frame reading), dispatch (op handling)
+and processing (worker pool) never block each other.
+
+* **Transport** — ``asyncio.start_server`` / ``start_unix_server``
+  behind the shared line-JSON framing codec
+  (:mod:`repro.service.gateway.framing`).
+* **Session** — per-connection state (:mod:`.session`): keepalive
+  ping events on idle, optional idle disconnect, and a
+  ``max_inflight_per_conn`` bound enforced by *not reading* further
+  frames — backpressure instead of buffering.  Ops on one connection
+  run concurrently but responses are written in request order.
+* **Dispatch** — :class:`~.dispatch.Dispatcher` routes ops; blocking
+  service calls run on a thread pool via ``run_in_executor`` so the
+  event loop never stalls.
+* **Admission** — :class:`~.admission.AdmissionController` bounds
+  pending jobs and turns overload into explicit ``overloaded``
+  responses.  :meth:`GatewayServer.stop` drains gracefully: stop
+  accepting, refuse new submits, finish in-flight ops and jobs, then
+  close.
+
+Gateway state is surfaced through the shared
+:class:`~repro.runtime.metrics.ServiceMetrics` (``gateway_*``
+counters/gauges/timers) and per-request ``gateway.<op>`` tracing
+spans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from ...errors import ServiceError
+from .. import protocol
+from .admission import AdmissionController
+from .dispatch import Dispatcher
+from .framing import FrameError, FrameReader
+from .session import Session
+
+#: Queue sentinel closing a session's write loop.
+_CLOSE = object()
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of the gateway front door.
+
+    Attributes
+    ----------
+    max_inflight_per_conn:
+        Ops processed concurrently per connection before the session
+        stops reading further frames (pipelining bound).
+    max_pending_jobs:
+        Admission bound on pending jobs; ``None`` = unbounded.
+    keepalive_interval:
+        Seconds of read idleness before the session emits a
+        ``{"event": "ping"}`` keepalive frame; ``None`` disables.
+    idle_timeout:
+        Close a connection after this many seconds without a complete
+        frame; ``None`` keeps idle connections forever.
+    write_timeout:
+        Per-response write/drain deadline; a peer that stops reading
+        is disconnected instead of wedging the session.
+    wait_poll_interval:
+        Event-loop poll period resolving long-poll ``wait`` ops.
+    drain_timeout:
+        Upper bound on waiting for in-flight ops and jobs during
+        graceful shutdown.
+    dispatch_threads:
+        Thread-pool size backing ``run_in_executor`` dispatch.
+    """
+
+    max_inflight_per_conn: int = 32
+    max_pending_jobs: int | None = 1024
+    keepalive_interval: float | None = 15.0
+    idle_timeout: float | None = None
+    write_timeout: float = 30.0
+    wait_poll_interval: float = 0.02
+    drain_timeout: float = 10.0
+    dispatch_threads: int = 8
+
+
+class GatewayServer:
+    """Asyncio gateway serving a :class:`ConversionService` over unix
+    socket and/or TCP.
+
+    Parameters
+    ----------
+    service:
+        The service façade ops are routed to.
+    unix_path:
+        Unix socket path to listen on (``None`` = no unix listener).
+    tcp_address:
+        ``(host, port)`` to listen on (``None`` = no TCP listener).
+        Port 0 binds an ephemeral port; read it back from
+        :attr:`tcp_address` after :meth:`start`.
+    config:
+        :class:`GatewayConfig` tunables.
+    stop_callback:
+        Invoked (on a fresh thread) when a client sends ``shutdown``;
+        defaults to :meth:`stop`.  The daemon passes its own stop so
+        the service and socket file are torn down too.
+    """
+
+    def __init__(self, service: Any,
+                 unix_path: str | os.PathLike[str] | None = None,
+                 tcp_address: tuple[str, int] | None = None,
+                 config: GatewayConfig | None = None,
+                 stop_callback=None) -> None:
+        if unix_path is None and tcp_address is None:
+            raise ServiceError(
+                "gateway needs a unix socket path and/or a TCP "
+                "address to listen on")
+        self.service = service
+        self.config = config if config is not None else GatewayConfig()
+        self.unix_path = None if unix_path is None else os.fspath(unix_path)
+        self._tcp_requested = tcp_address
+        self.tcp_address: tuple[str, int] | None = None
+        self.metrics = service.metrics
+        self.admission = AdmissionController(
+            self.config.max_pending_jobs,
+            self._queued_count, self.metrics)
+        self.dispatcher = Dispatcher(
+            service, self.admission,
+            stop_callback=(stop_callback if stop_callback is not None
+                           else self.stop),
+            wait_poll_interval=self.config.wait_poll_interval,
+            executor_threads=self.config.dispatch_threads)
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._finished = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stop_lock = threading.Lock()
+        self._stop_requested = False
+        self._stop_event: asyncio.Event | None = None
+        self._servers: list[asyncio.AbstractServer] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight_ops: set[asyncio.Task] = set()
+        self._session_queues: dict[str, asyncio.Queue] = {}
+        self.sessions: dict[str, Session] = {}
+
+    def _queued_count(self) -> int:
+        pool = getattr(self.service, "pool", None)
+        return pool.queued_count() if pool is not None else 0
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the listeners and serve on a background thread.
+
+        Returns once every requested listener is bound (so an
+        in-process client can connect immediately) or raises the
+        startup error.
+        """
+        if self._thread is not None:
+            raise ServiceError("gateway already started")
+        self._thread = threading.Thread(target=self._loop_main,
+                                        name="repro-gateway",
+                                        daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._finished.wait(5)
+            raise ServiceError(
+                f"gateway failed to start: {self._startup_error}") \
+                from self._startup_error
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until the gateway stops (KeyboardInterrupt-friendly).
+
+        Waits on an Event the loop thread sets *after* its cleanup
+        (socket unlink) rather than on ``Thread.join``: a
+        KeyboardInterrupt landing inside an earlier ``Thread.join``
+        can falsely mark a live thread as stopped (bpo-45274's
+        interrupted-``_wait_for_tstate_lock`` recovery), which would
+        make every later join return before shutdown actually ran.
+        """
+        if self._thread is None:
+            return
+        if timeout is not None:
+            self._finished.wait(timeout)
+            return
+        while not self._finished.wait(0.2):
+            pass
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and serve until :meth:`stop`."""
+        if self._thread is None:
+            self.start()
+        self.join()
+
+    def stop(self) -> None:
+        """Graceful drain: stop accepting, refuse new submits, finish
+        in-flight ops and jobs (bounded by ``drain_timeout``), close.
+
+        Idempotent and callable from any thread except the event-loop
+        thread itself (the shutdown op hops to a fresh thread first).
+        """
+        with self._stop_lock:
+            if self._stop_requested:
+                self.join(timeout=self.config.drain_timeout + 5)
+                return
+            self._stop_requested = True
+        self.admission.start_draining()
+        loop = self._loop
+        if loop is not None and self._stop_event is not None \
+                and not loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._stop_event.set)
+        self.join(timeout=self.config.drain_timeout + 5)
+        self._stopped.set()
+
+    # -- event loop body --------------------------------------------
+
+    def _loop_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+            if self.unix_path and os.path.exists(self.unix_path):
+                with contextlib.suppress(OSError):
+                    os.unlink(self.unix_path)
+            # Signals join()/stop() that shutdown fully completed —
+            # set strictly after the unlink above.
+            self._finished.set()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        try:
+            if self.unix_path is not None:
+                if os.path.exists(self.unix_path):
+                    os.unlink(self.unix_path)
+                server = await asyncio.start_unix_server(
+                    self._accept_unix, path=self.unix_path,
+                    backlog=512)
+                self._servers.append(server)
+            if self._tcp_requested is not None:
+                host, port = self._tcp_requested
+                server = await asyncio.start_server(
+                    self._accept_tcp, host=host, port=port,
+                    backlog=512)
+                self._servers.append(server)
+                bound = server.sockets[0].getsockname()
+                self.tcp_address = (bound[0], bound[1])
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop_event.wait()
+        await self._shutdown()
+
+    def _accept_unix(self, reader, writer) -> None:
+        self._accept(reader, writer, "unix")
+
+    def _accept_tcp(self, reader, writer) -> None:
+        self._accept(reader, writer, "tcp")
+
+    def _accept(self, reader, writer, transport: str) -> None:
+        task = asyncio.ensure_future(
+            self._serve_connection(reader, writer, transport))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    # -- one connection ---------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter,
+                                transport: str) -> None:
+        peer = writer.get_extra_info("peername")
+        session = Session(
+            transport=transport,
+            peer="" if peer is None else str(peer),
+            max_inflight=self.config.max_inflight_per_conn)
+        self.sessions[session.session_id] = session
+        self.metrics.inc("gateway_connections_total")
+        self.metrics.set_gauge("gateway_connections_open",
+                               len(self.sessions))
+        frames = FrameReader(reader)
+        responses: asyncio.Queue = asyncio.Queue()
+        self._session_queues[session.session_id] = responses
+        inflight = asyncio.Semaphore(self.config.max_inflight_per_conn)
+        write_task = asyncio.ensure_future(
+            self._write_loop(session, writer, responses))
+        try:
+            await self._read_loop(session, frames, responses, inflight)
+        finally:
+            await responses.put(_CLOSE)
+            with contextlib.suppress(Exception):
+                await asyncio.wait_for(
+                    write_task, self.config.write_timeout * 2)
+            write_task.cancel()
+            session.closed = True
+            self._session_queues.pop(session.session_id, None)
+            self.sessions.pop(session.session_id, None)
+            self.metrics.set_gauge("gateway_connections_open",
+                                   len(self.sessions))
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _read_tick(self) -> float | None:
+        """Read timeout slicing idleness into keepalive/idle checks."""
+        ticks = [t for t in (self.config.keepalive_interval,
+                             self.config.idle_timeout) if t is not None]
+        return min(ticks) if ticks else None
+
+    async def _read_loop(self, session: Session, frames: FrameReader,
+                         responses: asyncio.Queue,
+                         inflight: asyncio.Semaphore) -> None:
+        tick = self._read_tick()
+        while not session.closed:
+            try:
+                if tick is None:
+                    frame = await frames.read_frame()
+                else:
+                    frame = await asyncio.wait_for(frames.read_frame(),
+                                                   tick)
+            except asyncio.TimeoutError:
+                idle = session.idle_for()
+                if self.config.idle_timeout is not None \
+                        and idle >= self.config.idle_timeout:
+                    self.metrics.inc("gateway_idle_disconnects")
+                    return
+                if self.config.keepalive_interval is not None:
+                    session.pings_sent += 1
+                    self.metrics.inc("gateway_keepalive_pings")
+                    await responses.put(protocol.event("ping"))
+                continue
+            except FrameError as exc:
+                session.bad_frames += 1
+                self.metrics.inc("gateway_bad_frames")
+                await responses.put(
+                    protocol.bad_frame_response(str(exc)))
+                continue
+            except (ConnectionError, OSError):
+                return
+            if frame is None:                    # clean EOF
+                return
+            session.note_frame()
+            await inflight.acquire()
+            task = asyncio.ensure_future(
+                self._run_op(session, frame, inflight))
+            self._inflight_ops.add(task)
+            self.metrics.set_gauge("gateway_inflight_ops",
+                                   len(self._inflight_ops))
+            task.add_done_callback(self._op_done)
+            await responses.put(task)
+
+    def _op_done(self, task: asyncio.Task) -> None:
+        self._inflight_ops.discard(task)
+        self.metrics.set_gauge("gateway_inflight_ops",
+                               len(self._inflight_ops))
+
+    async def _run_op(self, session: Session, frame: dict[str, Any],
+                      inflight: asyncio.Semaphore) -> dict[str, Any]:
+        try:
+            return await self.dispatcher.dispatch(session, frame)
+        finally:
+            inflight.release()
+
+    async def _write_loop(self, session: Session,
+                          writer: asyncio.StreamWriter,
+                          responses: asyncio.Queue) -> None:
+        try:
+            while True:
+                item = await responses.get()
+                if item is _CLOSE:
+                    return
+                if isinstance(item, asyncio.Task):
+                    try:
+                        response = await item
+                    except asyncio.CancelledError:
+                        return
+                else:
+                    response = item
+                writer.write(protocol.encode(response))
+                await asyncio.wait_for(writer.drain(),
+                                       self.config.write_timeout)
+                session.responses += 1
+                if response.get("ok") and response.get("stopping"):
+                    self.dispatcher.request_stop()
+                    return
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return
+        finally:
+            session.closed = True
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    # -- graceful drain ---------------------------------------------
+
+    async def _shutdown(self) -> None:
+        timeout = self.config.drain_timeout
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        # Let dispatched ops finish, then cancel stragglers (e.g.
+        # indefinite long-poll waits).
+        if self._inflight_ops:
+            await asyncio.wait(set(self._inflight_ops),
+                               timeout=timeout)
+        for task in list(self._inflight_ops):
+            task.cancel()
+        # Finish in-flight jobs: every job already admitted to the
+        # pool runs to a terminal state (bounded by the drain budget).
+        pool = getattr(self.service, "pool", None)
+        if pool is not None and hasattr(pool, "wait_all"):
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, lambda: pool.wait_all(timeout=timeout))
+        for queue in list(self._session_queues.values()):
+            queue.put_nowait(_CLOSE)
+        if self._conn_tasks:
+            await asyncio.wait(set(self._conn_tasks), timeout=5)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        self.dispatcher.close()

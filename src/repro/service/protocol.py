@@ -7,6 +7,17 @@ One request or response per line: a UTF-8 JSON object terminated by
 carry ``ok`` (bool) plus either the op-specific payload or an
 ``error`` string.  The framing is deliberately trivial so any language
 — or ``nc`` in a pinch — can drive the daemon.
+
+Failure responses may additionally carry a machine-readable ``code``
+(``bad_frame``, ``overloaded``, ``job_not_found``, ...) so clients can
+react without parsing the human-readable ``error`` text.  The server
+may also interleave *event* frames — ``{"event": "ping"}`` keepalives
+— between responses; request/response clients must skip any frame
+that has an ``event`` field and no ``ok`` field.
+
+The same framing runs over the local unix socket and over TCP
+(``repro serve --listen HOST:PORT``); :func:`parse_address` parses the
+``HOST:PORT`` notation used by the CLI flags.
 """
 
 from __future__ import annotations
@@ -22,6 +33,13 @@ OPS = ("submit", "status", "cancel", "metrics", "wait", "trace",
 
 #: Hard cap on one protocol line; a submit request is far smaller.
 MAX_LINE = 1 << 20
+
+#: Machine-readable error codes carried in failure responses.
+CODE_BAD_FRAME = "bad_frame"
+CODE_OVERLOADED = "overloaded"
+CODE_JOB_NOT_FOUND = "job_not_found"
+CODE_BAD_REQUEST = "bad_request"
+CODE_UNKNOWN_OP = "unknown_op"
 
 
 def encode(message: dict[str, Any]) -> bytes:
@@ -62,11 +80,65 @@ def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
     stream.flush()
 
 
-def error_response(message: str) -> dict[str, Any]:
-    """Standard failure envelope."""
-    return {"ok": False, "error": message}
+def error_response(message: str,
+                   code: str | None = None) -> dict[str, Any]:
+    """Standard failure envelope, optionally with a machine code."""
+    response: dict[str, Any] = {"ok": False, "error": message}
+    if code is not None:
+        response["code"] = code
+    return response
 
 
 def ok_response(**payload: Any) -> dict[str, Any]:
     """Standard success envelope."""
     return {"ok": True, **payload}
+
+
+def bad_frame_response(detail: str) -> dict[str, Any]:
+    """Failure envelope for an unparseable or oversized frame.
+
+    The session stays alive after sending this — one garbage line must
+    not kill a connection that may have valid requests pipelined
+    behind it.
+    """
+    return error_response(f"bad_frame: {detail}", code=CODE_BAD_FRAME)
+
+
+def overloaded_response(detail: str) -> dict[str, Any]:
+    """Failure envelope for an op rejected by admission control."""
+    return error_response(f"overloaded: {detail}", code=CODE_OVERLOADED)
+
+
+def event(name: str, **payload: Any) -> dict[str, Any]:
+    """A server-initiated event frame (e.g. a keepalive ping)."""
+    return {"event": name, **payload}
+
+
+def is_event(message: dict[str, Any]) -> bool:
+    """Whether *message* is an event frame rather than a response."""
+    return "event" in message and "ok" not in message
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (``[v6::addr]:PORT`` accepted) to a tuple.
+
+    ``:PORT`` and ``PORT`` alone bind/connect on localhost.  Port 0 is
+    allowed — the OS picks a free port (the daemon reports the bound
+    one).
+    """
+    text = text.strip()
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "", text
+    host = host.strip("[]") or "127.0.0.1"
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ProtocolError(
+            f"bad service address {text!r}; expected HOST:PORT") \
+            from None
+    if not 0 <= port_num <= 65535:
+        raise ProtocolError(
+            f"bad service address {text!r}: port {port_num} out of "
+            f"range")
+    return host, port_num

@@ -118,6 +118,12 @@ class WorkerPool:
             return sorted(self._jobs.values(),
                           key=lambda j: j.submitted_at)
 
+    def queued_count(self) -> int:
+        """Jobs currently waiting to run (admission-control input)."""
+        with self._cond:
+            return sum(1 for j in self._jobs.values()
+                       if j.state is JobState.QUEUED)
+
     def cancel(self, job_id: str) -> bool:
         """Cancel a job.
 

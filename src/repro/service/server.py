@@ -9,27 +9,33 @@ conversions of the same input skip the preprocessing phase entirely —
 the warm path is an O(1) cache lookup plus the BAIX binary search.
 
 :class:`ServiceDaemon` exposes the façade over a local unix socket
-speaking the line-JSON protocol (:mod:`repro.service.protocol`), and
-:class:`ServiceClient` is the matching blocking client used by the
-``repro submit``/``status``/``cancel`` subcommands.
+and/or a TCP listener through the async gateway subsystem
+(:mod:`repro.service.gateway`): transport, session, dispatch and
+admission-control layers multiplexing many concurrent submitters
+without blocking each other.  :class:`ServiceClient` is the matching
+blocking client used by the ``repro submit``/``status``/``cancel``
+subcommands; it speaks either transport, retries its initial connect
+with bounded backoff, and long-polls ``wait`` so thousands of waiters
+do not hammer the daemon.
 """
 
 from __future__ import annotations
 
 import os
 import socket
-import socketserver
-import threading
+import time
 from typing import Any
 
 from ..core import BamConverter, SamConverter, parse_filter_expr
 from ..core.base import ConversionResult
-from ..errors import JobNotFoundError, ReproError, ServiceError
+from ..errors import JobNotFoundError, ServiceError, \
+    ServiceOverloadedError
 from ..formats.baix import default_index_path
 from ..formats.store import store_extension
 from ..runtime.metrics import ServiceMetrics
 from . import protocol
 from .cache import ArtifactCache, CacheEntry
+from .gateway import GatewayConfig, GatewayServer
 from .jobs import Job
 from .scheduler import WorkerPool
 
@@ -237,141 +243,172 @@ class ConversionService:
             f"cache entry {entry.key} holds no record store")
 
 
-class _ConnectionHandler(socketserver.StreamRequestHandler):
-    """One client connection: request/response loop until EOF."""
-
-    def handle(self) -> None:  # noqa: D102 — socketserver hook
-        while True:
-            try:
-                message = protocol.read_message(self.rfile)
-            except ReproError as exc:
-                protocol.write_message(self.wfile,
-                                       protocol.error_response(str(exc)))
-                return
-            if message is None:
-                return
-            response = self.server.daemon.handle_message(message)  # type: ignore[attr-defined]
-            protocol.write_message(self.wfile, response)
-            if message.get("op") == "shutdown" and response.get("ok"):
-                return
-
-
-class _UnixServer(socketserver.ThreadingUnixStreamServer):
-    daemon_threads = True
-    allow_reuse_address = True
-
-
 class ServiceDaemon:
-    """Line-JSON daemon serving a :class:`ConversionService` over a
-    local unix socket."""
+    """Line-JSON daemon serving a :class:`ConversionService` through
+    the async gateway, over a local unix socket and/or TCP.
+
+    Parameters
+    ----------
+    service:
+        The façade to expose.
+    socket_path:
+        Unix socket to listen on (``None`` = no unix listener).
+    listen:
+        ``(host, port)`` TCP address to listen on (``None`` = no TCP
+        listener); port 0 binds an ephemeral port reported by
+        :attr:`tcp_address` after :meth:`start`.
+    config:
+        Optional :class:`~repro.service.gateway.GatewayConfig`.
+    """
 
     def __init__(self, service: ConversionService,
-                 socket_path: str | os.PathLike[str]) -> None:
+                 socket_path: str | os.PathLike[str] | None = None,
+                 listen: tuple[str, int] | None = None,
+                 config: GatewayConfig | None = None) -> None:
         self.service = service
-        self.socket_path = os.fspath(socket_path)
-        if os.path.exists(self.socket_path):
-            os.unlink(self.socket_path)
-        self._server = _UnixServer(self.socket_path, _ConnectionHandler)
-        self._server.daemon = self  # type: ignore[attr-defined]
-        self._thread: threading.Thread | None = None
+        self.socket_path = None if socket_path is None \
+            else os.fspath(socket_path)
+        self._gateway = GatewayServer(
+            service, unix_path=self.socket_path, tcp_address=listen,
+            config=config, stop_callback=self.stop)
+        self._stopped = False
+
+    @property
+    def gateway(self) -> GatewayServer:
+        """The underlying gateway (metrics, sessions, config)."""
+        return self._gateway
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        """Bound ``(host, port)`` once started with a TCP listener."""
+        return self._gateway.tcp_address
 
     def handle_message(self, message: dict[str, Any]) -> dict[str, Any]:
-        """Dispatch one protocol request; never raises."""
-        op = message.get("op")
-        try:
-            if op == "ping":
-                return protocol.ok_response(pong=True)
-            if op == "submit":
-                job = self.service.submit(
-                    kind=message.get("kind", "convert"),
-                    params=message.get("params", {}),
-                    priority=int(message.get("priority", 0)),
-                    timeout=message.get("timeout"),
-                    max_retries=int(message.get("max_retries", 0)),
-                    backoff=float(message.get("backoff", 0.1)))
-                return protocol.ok_response(job=job.to_dict())
-            if op == "status":
-                return protocol.ok_response(
-                    jobs=self.service.status(message.get("job_id")))
-            if op == "wait":
-                return protocol.ok_response(job=self.service.wait(
-                    message["job_id"], message.get("timeout")))
-            if op == "cancel":
-                return protocol.ok_response(
-                    cancelled=self.service.cancel(message["job_id"]))
-            if op == "trace":
-                return protocol.ok_response(
-                    spans=self.service.trace(message["job_id"]))
-            if op == "metrics":
-                return protocol.ok_response(
-                    metrics=self.service.metrics_snapshot())
-            if op == "shutdown":
-                threading.Thread(target=self.stop, daemon=True).start()
-                return protocol.ok_response(stopping=True)
-            return protocol.error_response(
-                f"unknown op {op!r}; choose from {protocol.OPS}")
-        except KeyError as exc:
-            return protocol.error_response(
-                f"request is missing field {exc.args[0]!r}")
-        except ReproError as exc:
-            return protocol.error_response(str(exc))
+        """Dispatch one protocol request in-process; never raises."""
+        return self._gateway.dispatcher.handle_message(message)
 
     def start(self) -> None:
         """Serve on a background thread (returns once listening)."""
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            name="repro-serve", daemon=True)
-        self._thread.start()
+        self._gateway.start()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`stop`."""
-        self._server.serve_forever()
+        self._gateway.serve_forever()
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until the daemon stops."""
+        self._gateway.join(timeout)
 
     def stop(self) -> None:
-        """Stop accepting connections and shut the service down."""
-        self._server.shutdown()
-        self._server.server_close()
-        if os.path.exists(self.socket_path):
-            os.unlink(self.socket_path)
+        """Drain the gateway, then shut the service down (idempotent)."""
+        self._gateway.stop()
+        if self._stopped:
+            return
+        self._stopped = True
         self.service.close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
+
+
+#: Job states after which a ``wait`` long-poll loop stops.
+_TERMINAL_STATES = ("done", "failed", "cancelled")
 
 
 class ServiceClient:
-    """Blocking line-JSON client for a :class:`ServiceDaemon`."""
+    """Blocking line-JSON client for a :class:`ServiceDaemon`.
 
-    def __init__(self, socket_path: str | os.PathLike[str],
-                 timeout: float | None = None) -> None:
-        self.socket_path = os.fspath(socket_path)
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        try:
-            self._sock.connect(self.socket_path)
-        except OSError as exc:
-            self._sock.close()
-            raise ServiceError(
-                f"cannot reach service at {self.socket_path}: "
-                f"{exc}") from None
+    Parameters
+    ----------
+    address:
+        A unix socket path (``str``/``PathLike``) or a ``(host,
+        port)`` tuple for TCP.
+    timeout:
+        Socket timeout for individual reads/writes.
+    connect_retries:
+        Extra connect attempts after the first one fails — a client
+        racing a just-spawned ``repro serve`` retries with
+        exponential backoff instead of failing hard on the
+        bind race.
+    connect_backoff:
+        Base delay between connect attempts (doubles per retry,
+        capped at 2 s).
+    poll_interval:
+        Default long-poll chunk for :meth:`wait`: each server-side
+        wait holds at most this long before the client re-issues, so
+        a waiter is never parked on an unbounded server read while
+        the server never sees a busy-poll storm.
+    """
+
+    def __init__(self, address: str | os.PathLike[str] | tuple[str, int],
+                 timeout: float | None = None,
+                 connect_retries: int = 0,
+                 connect_backoff: float = 0.05,
+                 poll_interval: float = 5.0) -> None:
+        if isinstance(address, tuple):
+            self.address: Any = (str(address[0]), int(address[1]))
+            self.socket_path = None
+        else:
+            self.address = os.fspath(address)
+            self.socket_path = self.address
+        self._timeout = timeout
+        self.poll_interval = poll_interval
+        self._sock = self._connect(connect_retries, connect_backoff)
         self._stream = self._sock.makefile("rwb")
 
+    def _connect(self, retries: int, backoff: float) -> socket.socket:
+        delay = backoff
+        last_error: OSError | None = None
+        for attempt in range(max(0, retries) + 1):
+            if attempt:
+                time.sleep(delay)
+                delay = min(delay * 2, 2.0)
+            family = socket.AF_INET if self.socket_path is None \
+                else socket.AF_UNIX
+            sock = socket.socket(family, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            try:
+                sock.connect(self.address)
+                return sock
+            except OSError as exc:
+                sock.close()
+                last_error = exc
+        target = self.address if self.socket_path is not None \
+            else "%s:%d" % self.address
+        raise ServiceError(
+            f"cannot reach service at {target}: {last_error}") \
+            from None
+
     def request(self, op: str, **fields: Any) -> dict[str, Any]:
-        """Send one request; return the payload or raise on error."""
+        """Send one request; return the payload or raise on error.
+
+        Server-initiated event frames (keepalive pings) interleaved
+        before the response are skipped transparently.
+        """
         protocol.write_message(self._stream, {"op": op, **fields})
-        response = protocol.read_message(self._stream)
-        if response is None:
-            raise ServiceError("service closed the connection")
+        while True:
+            response = protocol.read_message(self._stream)
+            if response is None:
+                raise ServiceError("service closed the connection")
+            if not protocol.is_event(response):
+                break
         if not response.get("ok"):
             error = response.get("error", "unspecified service error")
-            if "unknown job id" in error:
+            code = response.get("code")
+            if code == protocol.CODE_JOB_NOT_FOUND \
+                    or "unknown job id" in error:
                 raise JobNotFoundError(error)
+            if code == protocol.CODE_OVERLOADED:
+                raise ServiceOverloadedError(error)
             raise ServiceError(error)
         return response
 
     def submit(self, kind: str, params: dict[str, Any],
                priority: int = 0, timeout: float | None = None,
                max_retries: int = 0) -> dict[str, Any]:
-        """Submit a job; returns its snapshot dict."""
+        """Submit a job; returns its snapshot dict.
+
+        Raises :class:`ServiceOverloadedError` when admission control
+        refuses the job — retry later rather than resubmitting in a
+        tight loop.
+        """
         return self.request("submit", kind=kind, params=params,
                             priority=priority, timeout=timeout,
                             max_retries=max_retries)["job"]
@@ -380,10 +417,31 @@ class ServiceClient:
         """Snapshot of one job, or of every job."""
         return self.request("status", job_id=job_id)["jobs"]
 
-    def wait(self, job_id: str,
-             timeout: float | None = None) -> dict[str, Any]:
-        """Block until the job finishes; returns its final snapshot."""
-        return self.request("wait", job_id=job_id, timeout=timeout)["job"]
+    def wait(self, job_id: str, timeout: float | None = None,
+             poll_interval: float | None = None) -> dict[str, Any]:
+        """Block until the job finishes; returns its final snapshot.
+
+        Long-polls the daemon in ``poll_interval`` chunks: the server
+        holds each request until the job is terminal or the chunk
+        elapses, so the client neither busy-polls nor parks on one
+        unbounded read.  With *timeout*, returns the latest snapshot
+        (possibly non-terminal) once the deadline passes.
+        """
+        poll = self.poll_interval if poll_interval is None \
+            else poll_interval
+        if self._timeout is not None:
+            poll = min(poll, max(0.05, self._timeout / 2))
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            chunk = poll if deadline is None else \
+                max(0.0, min(poll, deadline - time.monotonic()))
+            job = self.request("wait", job_id=job_id,
+                               timeout=chunk)["job"]
+            if job["state"] in _TERMINAL_STATES:
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                return job
 
     def cancel(self, job_id: str) -> bool:
         """Request cancellation; ``False`` if the job already ended."""

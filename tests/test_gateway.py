@@ -1,0 +1,556 @@
+"""Tests for the async gateway subsystem: framing robustness, TCP +
+unix transports, admission control (explicit ``overloaded`` errors),
+long-poll ``wait``, keepalive pings, connect retry, graceful drain,
+and the ≥200-concurrent-submitter stress acceptance test."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket as socketlib
+import threading
+import time
+
+import pytest
+
+from repro.errors import ProtocolError, ServiceError, \
+    ServiceOverloadedError
+from repro.runtime.metrics import ServiceMetrics
+from repro.service import ConversionService, GatewayConfig, Job, \
+    ServiceClient, ServiceDaemon, WorkerPool
+from repro.service import protocol
+from repro.service.gateway.framing import FrameError, FrameReader
+
+
+# ---------------------------------------------------------------------
+# framing codec
+
+
+def run_frames(payload: bytes, max_line: int = protocol.MAX_LINE):
+    """Feed *payload* through a FrameReader; collect frames/errors."""
+
+    async def drive():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        reader.feed_eof()
+        frames = FrameReader(reader, max_line=max_line)
+        out = []
+        while True:
+            try:
+                frame = await frames.read_frame()
+            except FrameError as exc:
+                out.append(exc)
+                continue
+            if frame is None:
+                return out
+            out.append(frame)
+
+    return asyncio.run(drive())
+
+
+def test_framing_decodes_pipelined_frames():
+    out = run_frames(b'{"op":"ping"}\n{"op":"status"}\n')
+    assert out == [{"op": "ping"}, {"op": "status"}]
+
+
+def test_framing_bad_json_keeps_stream_synchronized():
+    out = run_frames(b'not json\n{"op":"ping"}\n')
+    assert isinstance(out[0], FrameError)
+    assert out[1] == {"op": "ping"}
+
+
+def test_framing_oversized_line_is_skipped():
+    big = b"x" * 600 + b"\n"
+    out = run_frames(big + b'{"op":"ping"}\n', max_line=256)
+    assert isinstance(out[0], FrameError)
+    assert "line cap" in str(out[0])
+    assert out[1] == {"op": "ping"}
+
+
+def test_framing_partial_final_line_decodes():
+    out = run_frames(b'{"op":"ping"}')        # EOF without newline
+    assert out == [{"op": "ping"}]
+
+
+def test_framing_non_object_frame_rejected():
+    out = run_frames(b'[1,2,3]\n')
+    assert isinstance(out[0], FrameError)
+    assert "JSON object" in str(out[0])
+
+
+# ---------------------------------------------------------------------
+# address parsing
+
+
+def test_parse_address_forms():
+    assert protocol.parse_address("127.0.0.1:8555") == \
+        ("127.0.0.1", 8555)
+    assert protocol.parse_address(":9000") == ("127.0.0.1", 9000)
+    assert protocol.parse_address("0") == ("127.0.0.1", 0)
+    assert protocol.parse_address("[::1]:80") == ("::1", 80)
+
+
+def test_parse_address_rejects_garbage():
+    with pytest.raises(ProtocolError, match="bad service address"):
+        protocol.parse_address("nope")
+    with pytest.raises(ProtocolError, match="out of range"):
+        protocol.parse_address("h:70000")
+
+
+# ---------------------------------------------------------------------
+# a lightweight service for gateway-behavior tests (no conversions)
+
+
+class EchoService:
+    """Minimal ConversionService stand-in: pool + metrics + façade."""
+
+    def __init__(self, runner=None, workers: int = 2) -> None:
+        self.metrics = ServiceMetrics()
+        self.pool = WorkerPool(
+            runner if runner is not None else
+            (lambda job: dict(job.params)),
+            workers=workers, metrics=self.metrics, trace_jobs=False)
+
+    def submit(self, kind, params, priority=0, timeout=None,
+               max_retries=0, backoff=0.1):
+        return self.pool.submit(Job(
+            kind=kind, params=dict(params), priority=priority,
+            timeout=timeout, max_retries=max_retries, backoff=backoff))
+
+    def status(self, job_id=None):
+        if job_id is not None:
+            return self.pool.get(job_id).to_dict()
+        return [job.to_dict() for job in self.pool.jobs()]
+
+    def cancel(self, job_id):
+        return self.pool.cancel(job_id)
+
+    def wait(self, job_id, timeout=None):
+        job = self.pool.get(job_id)
+        job.wait(timeout)
+        return job.to_dict()
+
+    def trace(self, job_id):
+        return list(self.pool.get(job_id).trace)
+
+    def metrics_snapshot(self):
+        return self.metrics.snapshot()
+
+    def close(self):
+        self.pool.shutdown()
+
+
+def start_daemon(tmp_path, service, *, unix=True, tcp=True,
+                 config: GatewayConfig | None = None) -> ServiceDaemon:
+    daemon = ServiceDaemon(
+        service,
+        socket_path=str(tmp_path / "gw.sock") if unix else None,
+        listen=("127.0.0.1", 0) if tcp else None,
+        config=config)
+    daemon.start()
+    return daemon
+
+
+def raw_connect(daemon, transport: str):
+    """A raw (socket, buffered rw file) pair to one daemon listener."""
+    if transport == "unix":
+        sock = socketlib.socket(socketlib.AF_UNIX,
+                                socketlib.SOCK_STREAM)
+        sock.connect(daemon.socket_path)
+    else:
+        sock = socketlib.create_connection(daemon.tcp_address)
+    sock.settimeout(10)
+    return sock, sock.makefile("rwb")
+
+
+def read_response(stream) -> dict:
+    """Next non-event frame from a raw stream."""
+    while True:
+        line = stream.readline()
+        assert line, "connection closed while waiting for a response"
+        frame = json.loads(line)
+        if not protocol.is_event(frame):
+            return frame
+
+
+# ---------------------------------------------------------------------
+# transports and protocol robustness
+
+
+def test_tcp_and_unix_roundtrip(tmp_path):
+    service = EchoService()
+    daemon = start_daemon(tmp_path, service)
+    try:
+        assert daemon.tcp_address is not None
+        for address in (daemon.socket_path, daemon.tcp_address):
+            with ServiceClient(address) as client:
+                assert client.ping()
+                job = client.submit("k", {"x": 1})
+                final = client.wait(job["job_id"], timeout=10)
+                assert final["state"] == "done"
+                assert final["result"] == {"x": 1}
+        snap = service.metrics_snapshot()
+        assert snap["counters"]["gateway_connections_total"] == 2
+        assert snap["counters"]["gateway_requests_total"] >= 6
+        assert "gateway_request_seconds" in snap["timers"]
+    finally:
+        daemon.stop()
+
+
+@pytest.mark.parametrize("transport", ["unix", "tcp"])
+def test_bad_frames_keep_session_alive(tmp_path, transport):
+    """Malformed JSON and oversized frames get structured bad_frame
+    errors and the connection keeps serving (both transports)."""
+    service = EchoService()
+    daemon = start_daemon(tmp_path, service)
+    try:
+        sock, stream = raw_connect(daemon, transport)
+        try:
+            # 1: malformed JSON
+            stream.write(b"this is not json\n")
+            stream.flush()
+            response = read_response(stream)
+            assert response["ok"] is False
+            assert response["code"] == "bad_frame"
+            assert "bad_frame" in response["error"]
+            assert "bad protocol line" in response["error"]
+            # 2: oversized frame (> MAX_LINE before the newline)
+            stream.write(b"y" * (protocol.MAX_LINE + 64) + b"\n")
+            stream.flush()
+            response = read_response(stream)
+            assert response["ok"] is False
+            assert response["code"] == "bad_frame"
+            assert "line cap" in response["error"]
+            # 3: the session is still alive and serving
+            stream.write(protocol.encode({"op": "ping"}))
+            stream.flush()
+            response = read_response(stream)
+            assert response == {"ok": True, "pong": True}
+        finally:
+            sock.close()
+        assert service.metrics.counter("gateway_bad_frames") == 2
+    finally:
+        daemon.stop()
+
+
+def test_pipelined_requests_answered_in_order(tmp_path):
+    service = EchoService()
+    daemon = start_daemon(tmp_path, service, unix=False)
+    try:
+        sock, stream = raw_connect(daemon, "tcp")
+        try:
+            stream.write(protocol.encode({"op": "status"}) +
+                         protocol.encode({"op": "ping"}) +
+                         protocol.encode({"op": "metrics"}))
+            stream.flush()
+            first = read_response(stream)
+            second = read_response(stream)
+            third = read_response(stream)
+            assert "jobs" in first
+            assert second.get("pong") is True
+            assert "metrics" in third
+        finally:
+            sock.close()
+    finally:
+        daemon.stop()
+
+
+def test_keepalive_ping_events_on_idle(tmp_path):
+    config = GatewayConfig(keepalive_interval=0.05)
+    service = EchoService()
+    daemon = start_daemon(tmp_path, service, unix=False,
+                          config=config)
+    try:
+        sock, stream = raw_connect(daemon, "tcp")
+        try:
+            line = stream.readline()      # server speaks first: ping
+            assert json.loads(line) == {"event": "ping"}
+            stream.write(protocol.encode({"op": "ping"}))
+            stream.flush()
+            assert read_response(stream)["pong"] is True
+        finally:
+            sock.close()
+        assert service.metrics.counter("gateway_keepalive_pings") >= 1
+    finally:
+        daemon.stop()
+
+
+def test_idle_timeout_disconnects(tmp_path):
+    config = GatewayConfig(keepalive_interval=None, idle_timeout=0.1)
+    service = EchoService()
+    daemon = start_daemon(tmp_path, service, unix=False,
+                          config=config)
+    try:
+        sock, stream = raw_connect(daemon, "tcp")
+        try:
+            assert stream.readline() == b""     # server closes
+        finally:
+            sock.close()
+        assert service.metrics.counter("gateway_idle_disconnects") == 1
+    finally:
+        daemon.stop()
+
+
+# ---------------------------------------------------------------------
+# admission control and backpressure
+
+
+def test_overload_is_explicit_never_silent(tmp_path):
+    gate = threading.Event()
+    service = EchoService(runner=lambda job: gate.wait(30),
+                          workers=1)
+    config = GatewayConfig(max_pending_jobs=2)
+    daemon = start_daemon(tmp_path, service, unix=False,
+                          config=config)
+    try:
+        with ServiceClient(daemon.tcp_address) as client:
+            admitted = []
+            rejected = 0
+            for i in range(8):
+                try:
+                    admitted.append(
+                        client.submit("k", {"i": i})["job_id"])
+                except ServiceOverloadedError as exc:
+                    rejected += 1
+                    assert "overloaded" in str(exc)
+            # The worker grabs one job; the queue holds at most the
+            # configured two more.  Nothing is silently dropped.
+            assert rejected >= 5
+            assert 1 <= len(admitted) <= 3
+            gate.set()
+            for job_id in admitted:
+                final = client.wait(job_id, timeout=10)
+                assert final["state"] == "done"
+        assert service.metrics.counter(
+            "gateway_rejected_overloaded") == rejected
+    finally:
+        gate.set()
+        daemon.stop()
+
+
+def test_graceful_drain_finishes_inflight_jobs(tmp_path):
+    service = EchoService(runner=lambda job: time.sleep(0.2) or "ok",
+                          workers=2)
+    daemon = start_daemon(tmp_path, service, unix=False)
+    address = daemon.tcp_address
+    with ServiceClient(address) as client:
+        jobs = [client.submit("k", {"i": i})["job_id"]
+                for i in range(5)]
+    daemon.stop()       # drain: finish in-flight jobs, then close
+    states = {job.job_id: job.state.value
+              for job in service.pool.jobs()}
+    assert set(states) == set(jobs)
+    assert all(state == "done" for state in states.values()), states
+    assert service.metrics.gauge("gateway_draining") == 1
+    with pytest.raises(ServiceError, match="cannot reach service"):
+        ServiceClient(address)
+
+
+def test_stop_survives_corrupted_thread_join_state(tmp_path):
+    """A KeyboardInterrupt inside ``Thread.join`` can falsely mark the
+    loop thread as stopped (bpo-45274 recovery path).  stop() must
+    still wait for real shutdown — including the socket unlink —
+    instead of trusting ``Thread.join``."""
+    service = EchoService()
+    daemon = start_daemon(tmp_path, service)
+    socket_path = daemon.socket_path
+    thread = daemon.gateway._thread
+    # Simulate the corruption: the interrupted join released the
+    # tstate lock and called _stop() on a live thread.
+    thread._tstate_lock.release()
+    thread._stop()
+    assert not thread.is_alive()        # the lie stop() must survive
+    daemon.stop()
+    assert daemon.gateway._finished.is_set()
+    assert not os.path.exists(socket_path)
+
+
+def test_shutdown_op_stops_daemon(tmp_path):
+    service = EchoService()
+    daemon = start_daemon(tmp_path, service, unix=False)
+    address = daemon.tcp_address
+    with ServiceClient(address) as client:
+        client.shutdown()
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        try:
+            ServiceClient(address).close()
+        except ServiceError:
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail("daemon still accepting after shutdown op")
+    daemon.stop()       # idempotent
+
+
+# ---------------------------------------------------------------------
+# client behavior: connect retry, long-poll wait
+
+
+def test_connect_retry_bridges_startup_race(tmp_path):
+    service = EchoService()
+    with socketlib.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    daemon = ServiceDaemon(service, listen=("127.0.0.1", port))
+    started = threading.Timer(0.3, daemon.start)
+    started.start()
+    try:
+        client = ServiceClient(("127.0.0.1", port),
+                               connect_retries=10,
+                               connect_backoff=0.05)
+        with client:
+            assert client.ping()
+    finally:
+        started.join()
+        daemon.stop()
+
+
+def test_connect_failure_after_retries_is_service_error(tmp_path):
+    t0 = time.monotonic()
+    with pytest.raises(ServiceError, match="cannot reach service"):
+        ServiceClient(str(tmp_path / "nothing.sock"),
+                      connect_retries=2, connect_backoff=0.01)
+    assert time.monotonic() - t0 < 5
+
+
+def test_wait_long_polls_without_hammering(tmp_path):
+    service = EchoService(runner=lambda job: time.sleep(0.5) or "ok")
+    daemon = start_daemon(tmp_path, service, unix=False)
+    try:
+        with ServiceClient(daemon.tcp_address) as client:
+            job = client.submit("k", {})
+            final = client.wait(job["job_id"], poll_interval=0.1)
+            assert final["state"] == "done"
+            # ~6 poll chunks for a 0.5 s job; a busy-poll loop would
+            # have issued hundreds of status calls.
+            requests = service.metrics.counter(
+                "gateway_requests_total")
+            assert requests <= 20
+    finally:
+        daemon.stop()
+
+
+def test_wait_deadline_returns_live_snapshot(tmp_path):
+    gate = threading.Event()
+    service = EchoService(runner=lambda job: gate.wait(30))
+    daemon = start_daemon(tmp_path, service, unix=False)
+    try:
+        with ServiceClient(daemon.tcp_address) as client:
+            job = client.submit("k", {})
+            snap = client.wait(job["job_id"], timeout=0.3,
+                               poll_interval=0.1)
+            assert snap["state"] in ("queued", "running")
+            gate.set()
+            final = client.wait(job["job_id"], timeout=10)
+            assert final["state"] == "done"
+    finally:
+        gate.set()
+        daemon.stop()
+
+
+# ---------------------------------------------------------------------
+# acceptance: concurrency at the front door
+
+
+N_SUBMITTERS = 200
+
+
+def test_stress_200_concurrent_tcp_submitters(tmp_path, bam_file):
+    """≥200 concurrent TCP submitters: every job completes, nothing is
+    lost, overload (if any) is an explicit error, and the gateway
+    multiplexes all sessions on one event loop."""
+    service = ConversionService(tmp_path / "svc", workers=4)
+    config = GatewayConfig(max_pending_jobs=None)
+    daemon = ServiceDaemon(service, listen=("127.0.0.1", 0),
+                           config=config)
+    daemon.start()
+    results: list = [None] * N_SUBMITTERS
+    errors: list = [None] * N_SUBMITTERS
+
+    def submitter(i: int) -> None:
+        try:
+            client = ServiceClient(daemon.tcp_address, timeout=120,
+                                   connect_retries=5,
+                                   connect_backoff=0.05)
+            with client:
+                job = client.submit("preprocess",
+                                    {"input": bam_file})
+                results[i] = client.wait(job["job_id"], timeout=120)
+        except BaseException as exc:  # noqa: BLE001 — recorded
+            errors[i] = exc
+
+    threads = [threading.Thread(target=submitter, args=(i,))
+               for i in range(N_SUBMITTERS)]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(180)
+        assert not any(t.is_alive() for t in threads), "hung submitter"
+        assert all(e is None for e in errors), \
+            [e for e in errors if e is not None][:3]
+        job_ids = {r["job_id"] for r in results}
+        assert len(job_ids) == N_SUBMITTERS          # no job lost
+        assert all(r["state"] == "done" for r in results)
+        snap = service.metrics_snapshot()
+        assert snap["counters"]["jobs_done"] == N_SUBMITTERS
+        assert snap["counters"]["gateway_connections_total"] \
+            >= N_SUBMITTERS
+        assert snap["counters"].get("gateway_rejected_overloaded",
+                                    0) == 0
+        # One preprocessing run served all 200 submitters (warm cache).
+        assert snap["counters"]["preprocess_runs"] == 1
+    finally:
+        daemon.stop()
+
+
+def test_tcp_results_byte_identical_to_unix(tmp_path, bam_file):
+    """The transport must not change a single output byte."""
+    from .test_service import part_bytes
+    service = ConversionService(tmp_path / "svc", workers=2)
+    daemon = ServiceDaemon(service,
+                           socket_path=str(tmp_path / "gw.sock"),
+                           listen=("127.0.0.1", 0))
+    daemon.start()
+    try:
+        outputs = {}
+        for transport, address in (
+                ("unix", daemon.socket_path),
+                ("tcp", daemon.tcp_address)):
+            out_dir = tmp_path / f"out-{transport}"
+            with ServiceClient(address) as client:
+                job = client.submit("region", {
+                    "input": bam_file, "region": "chr1:1-30000",
+                    "target": "bed", "out_dir": str(out_dir)})
+                final = client.wait(job["job_id"], timeout=60)
+                assert final["state"] == "done", final["error"]
+            outputs[transport] = part_bytes(out_dir)
+        assert outputs["unix"]
+        assert outputs["unix"] == outputs["tcp"]
+    finally:
+        daemon.stop()
+
+
+# ---------------------------------------------------------------------
+# CLI integration over TCP
+
+
+def test_cli_submit_status_cancel_over_tcp(tmp_path, sam_file):
+    from repro.cli import main
+    service = ConversionService(tmp_path / "svc", workers=1)
+    daemon = ServiceDaemon(service, listen=("127.0.0.1", 0))
+    daemon.start()
+    connect = "%s:%d" % daemon.tcp_address
+    try:
+        out = tmp_path / "out"
+        assert main(["submit", sam_file, "--connect", connect,
+                     "--target", "bed", "--out-dir", str(out),
+                     "--wait"]) == 0
+        assert list(out.glob("*.bed*"))
+        assert main(["status", "--connect", connect]) == 0
+        assert main(["status", "--connect", connect,
+                     "--metrics"]) == 0
+    finally:
+        daemon.stop()
