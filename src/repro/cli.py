@@ -291,10 +291,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     listen = protocol.parse_address(args.listen) if args.listen \
         else None
     config = GatewayConfig(max_pending_jobs=args.max_pending_jobs)
+    cache_verify: object = args.cache_verify
+    if cache_verify not in ("always", "never"):
+        cache_verify = float(cache_verify)
     service = ConversionService(args.work_dir, workers=args.workers,
                                 cache_dir=args.cache_dir,
                                 cache_max_bytes=args.cache_max_bytes,
-                                shards_per_rank=args.shards)
+                                shards_per_rank=args.shards,
+                                journal_path=args.journal,
+                                journal_fsync=args.journal_fsync,
+                                cache_verify=cache_verify)
+    if args.journal:
+        recovered = int(service.metrics.gauge("journal_recovered_jobs"))
+        print(f"journal {args.journal}: {recovered} jobs recovered",
+              flush=True)
     daemon = ServiceDaemon(service, socket_path=args.socket,
                            listen=listen, config=config)
     try:
@@ -627,6 +637,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission-control cap on queued jobs; "
                         "submits beyond it get explicit 'overloaded' "
                         "errors (default 1024)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="write-ahead job journal; an existing journal "
+                        "is replayed on startup, re-queueing jobs the "
+                        "previous daemon lost to a crash")
+    p.add_argument("--journal-fsync", default="interval",
+                   choices=("always", "interval", "never"),
+                   help="journal durability: fsync every append, "
+                        "at a bounded interval (default), or never")
+    p.add_argument("--cache-verify", default="always",
+                   metavar="POLICY",
+                   help="artifact digest verification on cache fetch: "
+                        "'always' (default), 'never', or a sample "
+                        "probability like 0.1")
     _add_shards_argument(p)
     p.set_defaults(fn=_cmd_serve)
 

@@ -79,8 +79,24 @@ class CapacityError(BamxFormatError):
     """A record exceeds the fixed field capacities of a BAMX layout."""
 
 
+class FaultInjectedError(ReproError):
+    """An armed fault-injection point fired (see
+    :mod:`repro.runtime.faults`).  Only ever raised under an explicit
+    ``REPRO_FAULTS`` configuration — production code never sees it."""
+
+
 class ServiceError(ReproError):
     """The conversion job service was misused or failed internally."""
+
+
+class CacheIntegrityError(ServiceError):
+    """A cache entry failed digest verification.  The offending entry
+    has already been quarantined when this is raised; callers can
+    retry and will rebuild from the source input."""
+
+
+class JournalError(ServiceError):
+    """The job journal could not be written or replayed."""
 
 
 class JobNotFoundError(ServiceError):

@@ -2,25 +2,31 @@
 
 Turns the one-shot converters into a service: jobs with priorities,
 timeouts and retries (:mod:`jobs`), a thread worker pool draining a
-priority queue (:mod:`scheduler`), a content-addressed cache of
-preprocessing artifacts with LRU eviction (:mod:`cache`), a line-JSON
-wire protocol (:mod:`protocol`), and the async gateway front door
-(:mod:`gateway`) multiplexing unix-socket and TCP clients with
-per-connection sessions, executor-backed dispatch and admission
-control (:mod:`server` wires it all together).
+priority queue (:mod:`scheduler`), a write-ahead job journal replayed
+for crash recovery (:mod:`journal`), a content-addressed cache of
+preprocessing artifacts with LRU eviction and digest-verified
+integrity (:mod:`cache`), a line-JSON wire protocol (:mod:`protocol`),
+and the async gateway front door (:mod:`gateway`) multiplexing
+unix-socket and TCP clients with per-connection sessions,
+executor-backed dispatch and admission control (:mod:`server` wires it
+all together).
 """
 
-from .cache import ArtifactCache, CacheEntry, cache_key, content_digest
+from .cache import ArtifactCache, CacheEntry, cache_key, \
+    content_digest, file_digests
 from .gateway import AdmissionController, Dispatcher, FrameError, \
     FrameReader, GatewayConfig, GatewayServer, Session
-from .jobs import Job, JobState
+from .jobs import Job, JobState, seed_job_counter
+from .journal import JobJournal, high_water_mark, replay
 from .scheduler import WorkerPool
 from .server import ConversionService, ServiceClient, ServiceDaemon
 
 __all__ = [
-    "Job", "JobState",
+    "Job", "JobState", "seed_job_counter",
     "WorkerPool",
+    "JobJournal", "replay", "high_water_mark",
     "ArtifactCache", "CacheEntry", "cache_key", "content_digest",
+    "file_digests",
     "ConversionService", "ServiceDaemon", "ServiceClient",
     "AdmissionController", "Dispatcher", "FrameError", "FrameReader",
     "GatewayConfig", "GatewayServer", "Session",

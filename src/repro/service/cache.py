@@ -1,4 +1,5 @@
-"""Content-addressed preprocessing-artifact cache with LRU eviction.
+"""Content-addressed preprocessing-artifact cache with LRU eviction
+and digest-verified integrity.
 
 The paper's partial-conversion result (Fig. 8) only pays off when the
 sequential preprocessing products (BAMX/BAIX) are built once and reused
@@ -13,15 +14,26 @@ Layout on disk::
     <cache_dir>/<key>/          one entry per key
         <stem>.bamx             whatever the builder writes
         <stem>.bamx.baix
-        meta.json               key, input, params, size, last_used
+        meta.json               key, input, params, per-file digests
+    <cache_dir>/quarantine/     entries that failed integrity checks
 
 Entries are built in a temp directory and published with one
-``os.rename`` so readers never observe a half-written entry.  A global
-lock guards the LRU book-keeping; per-key build locks let concurrent
-submitters of the *same* input share one build while different keys
-build in parallel.  Eviction is size-capped LRU: after each build the
-total size is trimmed to ``max_bytes``, never evicting the entry that
-was just requested.
+``os.rename`` so readers never observe a half-written entry; losing
+that rename race to a concurrent publisher of the same key is treated
+as a hit of the existing entry.  ``meta.json`` records a SHA-256
+digest per artifact file; fetches re-verify those digests (always by
+default, or sampled), and an entry whose bytes no longer match — bit
+rot, torn writes, manual tampering — is moved to ``quarantine/``
+instead of ever being served, then rebuilt from the source input.
+Startup adopts surviving entries, sweeps stale ``.build-*`` temp dirs
+left by crashed builds, and quarantines entries whose ``meta.json`` is
+corrupt rather than refusing to start.
+
+A global lock guards the LRU book-keeping; per-key build locks let
+concurrent submitters of the *same* input share one build while
+different keys build in parallel.  Eviction is size-capped LRU: after
+each build the total size is trimmed to ``max_bytes``, never evicting
+the entry that was just requested.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import shutil
 import threading
 import time
@@ -36,11 +49,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
-from ..errors import ServiceError
+from ..errors import CacheIntegrityError, ServiceError
+from ..runtime import faults
 from ..runtime.metrics import ServiceMetrics
 
 _CHUNK = 1 << 20
 _META = "meta.json"
+_QUARANTINE = "quarantine"
 
 
 def content_digest(path: str | os.PathLike[str]) -> str:
@@ -67,6 +82,14 @@ def _dir_bytes(path: str) -> int:
     for name in os.listdir(path):
         total += os.path.getsize(os.path.join(path, name))
     return total
+
+
+def file_digests(entry_dir: str) -> dict[str, str]:
+    """Per-artifact SHA-256 digests of every file except the meta."""
+    return {
+        name: content_digest(os.path.join(entry_dir, name))
+        for name in sorted(os.listdir(entry_dir)) if name != _META
+    }
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,23 +124,49 @@ class ArtifactCache:
         larger than the cap is kept (evicting the entry just built
         would livelock repeat requests).
     metrics:
-        Optional shared :class:`ServiceMetrics` for hit/miss/eviction
-        counters and size gauges.
+        Optional shared :class:`ServiceMetrics` for hit/miss/eviction/
+        verification counters and size gauges.
+    verify:
+        Digest verification policy on fetch: ``"always"`` (default),
+        ``"never"``, or a float sample probability in ``[0, 1]``.
+        Freshly built entries are always verified before being
+        returned regardless of this policy — a partially written
+        build must never be served even once.
     """
 
     def __init__(self, cache_dir: str | os.PathLike[str],
                  max_bytes: int | None = None,
-                 metrics: ServiceMetrics | None = None) -> None:
+                 metrics: ServiceMetrics | None = None,
+                 verify: str | float = "always") -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ServiceError(f"max_bytes {max_bytes} must be positive")
         self.cache_dir = os.fspath(cache_dir)
         self.max_bytes = max_bytes
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.verify_prob = self._parse_verify(verify)
+        self._verify_rng = random.Random(0x5EED)
         self._lock = threading.Lock()
         self._build_locks: dict[str, threading.Lock] = {}
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         os.makedirs(self.cache_dir, exist_ok=True)
         self._scan()
+
+    @staticmethod
+    def _parse_verify(verify: str | float) -> float:
+        if verify == "always":
+            return 1.0
+        if verify == "never":
+            return 0.0
+        try:
+            prob = float(verify)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"bad cache verify policy {verify!r}; want 'always', "
+                f"'never' or a probability") from None
+        if not 0.0 <= prob <= 1.0:
+            raise ServiceError(
+                f"cache verify probability {prob} not in [0, 1]")
+        return prob
 
     # -- public API --------------------------------------------------
 
@@ -130,7 +179,9 @@ class ArtifactCache:
 
         *builder(entry_dir)* must populate *entry_dir* with the
         artifacts; it runs at most once per key even under concurrent
-        submission.  Returns ``(entry, hit)``.
+        submission.  An entry that fails digest verification is
+        quarantined and rebuilt transparently.  Returns
+        ``(entry, hit)``.
         """
         key = cache_key(input_path, params)
         with self._lock:
@@ -138,15 +189,19 @@ class ArtifactCache:
             build_lock = self._build_locks.setdefault(key,
                                                       threading.Lock())
         if entry is not None:
-            self.metrics.inc("cache_hits")
-            return entry, True
+            entry = self._verified_or_quarantined(entry)
+            if entry is not None:
+                self.metrics.inc("cache_hits")
+                return entry, True
         with build_lock:
             # Re-check: another thread may have built while we waited.
             with self._lock:
                 entry = self._touch(key)
             if entry is not None:
-                self.metrics.inc("cache_hits")
-                return entry, True
+                entry = self._verified_or_quarantined(entry)
+                if entry is not None:
+                    self.metrics.inc("cache_hits")
+                    return entry, True
             self.metrics.inc("cache_misses")
             entry = self._build(key, input_path, params, builder)
         self._evict(keep=key)
@@ -154,10 +209,13 @@ class ArtifactCache:
 
     def lookup(self, input_path: str | os.PathLike[str],
                params: dict) -> CacheEntry | None:
-        """Entry for (*input_path*, *params*) if cached, else ``None``."""
+        """Entry for (*input_path*, *params*) if cached (and passing
+        verification), else ``None``."""
         key = cache_key(input_path, params)
         with self._lock:
             entry = self._touch(key)
+        if entry is not None:
+            entry = self._verified_or_quarantined(entry)
         self.metrics.inc("cache_hits" if entry else "cache_misses")
         return entry
 
@@ -171,6 +229,103 @@ class ArtifactCache:
         with self._lock:
             return list(self._entries)
 
+    def quarantined(self) -> list[str]:
+        """Paths currently held in the quarantine directory."""
+        qdir = os.path.join(self.cache_dir, _QUARANTINE)
+        if not os.path.isdir(qdir):
+            return []
+        return sorted(os.path.join(qdir, name)
+                      for name in os.listdir(qdir))
+
+    # -- integrity ---------------------------------------------------
+
+    def _check_entry(self, entry: CacheEntry) -> str | None:
+        """Digest-verify one entry; returns a failure detail or
+        ``None`` when the entry is intact."""
+        meta_path = os.path.join(entry.path, _META)
+        try:
+            with open(meta_path, encoding="utf-8") as fh:
+                meta = json.load(fh)
+            if not isinstance(meta, dict):
+                return "meta.json is not an object"
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            return f"unreadable meta.json: {exc}"
+        digests = meta.get("files")
+        if not isinstance(digests, dict):
+            # Entry predates digest recording: nothing to verify
+            # against.  Served as-is for compatibility, but counted so
+            # operators can see unverifiable entries exist.
+            self.metrics.inc("cache_verify_skipped")
+            return None
+        for name, want in sorted(digests.items()):
+            path = os.path.join(entry.path, name)
+            try:
+                got = content_digest(path)
+            except OSError as exc:
+                return f"artifact {name} unreadable: {exc}"
+            if got != want:
+                return (f"artifact {name} digest mismatch "
+                        f"(want {want[:12]}..., got {got[:12]}...)")
+        extra = set(os.listdir(entry.path)) - set(digests) - {_META}
+        if extra:
+            return f"unexpected files in entry: {sorted(extra)}"
+        return None
+
+    def _verified_or_quarantined(self,
+                                 entry: CacheEntry) -> CacheEntry | None:
+        """Apply the fetch-time verification policy to *entry*.
+
+        Returns the entry when it passes (or verification is skipped
+        by policy), or ``None`` after quarantining a failing entry —
+        the caller treats that as a miss and rebuilds.
+        """
+        faults.fire("cache.fetch")
+        if faults.should_corrupt("cache.fetch"):
+            self._corrupt_one_artifact(entry)
+        if self.verify_prob <= 0.0:
+            return entry
+        if self.verify_prob < 1.0 \
+                and self._verify_rng.random() >= self.verify_prob:
+            return entry
+        detail = self._check_entry(entry)
+        if detail is None:
+            self.metrics.inc("cache_verify_ok")
+            return entry
+        self.metrics.inc("cache_verify_failed")
+        self._quarantine(entry.key, entry.path, detail)
+        return None
+
+    @staticmethod
+    def _corrupt_one_artifact(entry: CacheEntry) -> None:
+        # Fault-injection helper: simulate bit rot by truncating the
+        # first artifact file of the entry.
+        files = entry.files()
+        if files:
+            size = os.path.getsize(files[0])
+            with open(files[0], "r+b") as fh:
+                fh.truncate(size // 2)
+
+    def _quarantine(self, key: str, path: str, reason: str) -> None:
+        """Move a failing entry aside; it must never be served again."""
+        qdir = os.path.join(self.cache_dir, _QUARANTINE)
+        os.makedirs(qdir, exist_ok=True)
+        base = os.path.basename(path.rstrip(os.sep))
+        dest = os.path.join(qdir, base)
+        n = 0
+        while os.path.exists(dest):
+            n += 1
+            dest = os.path.join(qdir, f"{base}.{n}")
+        try:
+            os.rename(path, dest)
+        except OSError:
+            # Cross-device or concurrent removal: deleting is as safe
+            # as quarantining — the entry just must not be served.
+            shutil.rmtree(path, ignore_errors=True)
+        with self._lock:
+            self._entries.pop(key, None)
+            self._publish_gauges()
+        self.metrics.inc("cache_quarantined")
+
     # -- internals ---------------------------------------------------
 
     def _touch(self, key: str) -> CacheEntry | None:
@@ -181,15 +336,35 @@ class ArtifactCache:
         return entry
 
     def _scan(self) -> None:
-        """Adopt entries already on disk (service restart)."""
+        """Adopt entries already on disk (service restart).
+
+        Stale ``.build-*`` temp dirs — the residue of builds a crash
+        interrupted before publication — are swept.  Entries whose
+        ``meta.json`` is truncated or corrupt are quarantined instead
+        of crashing the whole daemon on startup.
+        """
         found = []
         for name in os.listdir(self.cache_dir):
             path = os.path.join(self.cache_dir, name)
+            if name == _QUARANTINE:
+                continue
+            if name.startswith(".build-") and os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+                self.metrics.inc("cache_tmp_swept")
+                continue
             meta_path = os.path.join(path, _META)
             if not os.path.isfile(meta_path):
-                continue  # temp build dir or foreign file
-            with open(meta_path, encoding="utf-8") as fh:
-                meta = json.load(fh)
+                continue  # foreign file or dir; leave it alone
+            try:
+                with open(meta_path, encoding="utf-8") as fh:
+                    meta = json.load(fh)
+                if not isinstance(meta, dict):
+                    raise ValueError("meta.json is not an object")
+            except (OSError, ValueError, UnicodeDecodeError) as exc:
+                self.metrics.inc("cache_scan_errors")
+                self._quarantine(name, path,
+                                 f"corrupt meta.json at startup: {exc}")
+                continue
             found.append((meta.get("last_used", 0.0),
                           CacheEntry(name, path, _dir_bytes(path))))
         for _, entry in sorted(found, key=lambda pair: pair[0]):
@@ -204,21 +379,47 @@ class ArtifactCache:
         os.makedirs(tmp_dir, exist_ok=True)
         try:
             builder(tmp_dir)
+            faults.fire("cache.build")
             meta = {
                 "key": key,
                 "input": os.fspath(input_path),
                 "params": params,
+                "files": file_digests(tmp_dir),
                 "created_at": time.time(),
                 "last_used": time.time(),
             }
             with open(os.path.join(tmp_dir, _META), "w",
                       encoding="utf-8") as fh:
                 json.dump(meta, fh)
-            os.rename(tmp_dir, final_dir)
+            if faults.should_corrupt("cache.build"):
+                self._corrupt_one_artifact(
+                    CacheEntry(key, tmp_dir, 0))
+            try:
+                os.rename(tmp_dir, final_dir)
+            except OSError:
+                # Lost the publish race: a concurrent process already
+                # renamed this key into place (ENOTEMPTY/EEXIST).
+                # Its entry is byte-equivalent by construction — the
+                # key is content-addressed — so adopt it as a hit
+                # instead of failing the build.
+                if not os.path.isfile(os.path.join(final_dir, _META)):
+                    raise
+                shutil.rmtree(tmp_dir, ignore_errors=True)
+                self.metrics.inc("cache_publish_races")
         except BaseException:
             shutil.rmtree(tmp_dir, ignore_errors=True)
             raise
         entry = CacheEntry(key, final_dir, _dir_bytes(final_dir))
+        # A just-built entry is always verified before being served:
+        # a torn write (crash, full disk, injected fault) must surface
+        # as a structured error now, not as corrupt conversions later.
+        detail = self._check_entry(entry)
+        if detail is not None:
+            self.metrics.inc("cache_verify_failed")
+            self._quarantine(key, final_dir, detail)
+            raise CacheIntegrityError(
+                f"cache entry {key[:16]}... failed verification "
+                f"after build ({detail}); entry quarantined")
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)

@@ -28,7 +28,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
-from ...errors import JobNotFoundError, ReproError
+from ...errors import FaultInjectedError, JobNotFoundError, ReproError
+from ...runtime import faults
 from ...runtime.metrics import ServiceMetrics
 from ...runtime.tracing import get_tracer
 from .. import protocol
@@ -85,7 +86,13 @@ class Dispatcher:
                     args={"session": session.session_id,
                           "transport": session.transport}):
             try:
+                faults.fire("gateway.dispatch")
                 return await self._dispatch_op(op, message)
+            except FaultInjectedError as exc:
+                # Structured surface for armed faults: the client gets
+                # a machine-readable code, the session stays alive.
+                return protocol.error_response(
+                    str(exc), code=protocol.CODE_FAULT_INJECTED)
             except Exception as exc:  # noqa: BLE001 — session survives
                 return protocol.error_response(
                     f"internal error handling {op!r}: "
@@ -210,5 +217,8 @@ class Dispatcher:
         except JobNotFoundError as exc:
             return protocol.error_response(
                 str(exc), code=protocol.CODE_JOB_NOT_FOUND)
+        except FaultInjectedError as exc:
+            return protocol.error_response(
+                str(exc), code=protocol.CODE_FAULT_INJECTED)
         except ReproError as exc:
             return protocol.error_response(str(exc))

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import secrets
 import threading
 import time
 from dataclasses import dataclass, field
@@ -54,12 +55,46 @@ _TRANSITIONS: frozenset[tuple[JobState, JobState]] = frozenset({
     (JobState.RUNNING, JobState.QUEUED),  # retry re-queue
 })
 
+_id_lock = threading.Lock()
 _job_counter = itertools.count(1)
+#: Per-process run nonce baked into job ids.  Without a journal, two
+#: daemon incarnations would both hand out ``job-000001`` — the nonce
+#: keeps their ids distinct.  Journaled daemons clear it through
+#: :func:`seed_job_counter` so recovered id sequences simply continue.
+_id_nonce = secrets.token_hex(2) + "-"
 
 
 def next_job_id() -> str:
-    """Monotonic process-local job id (``job-000001``, ...)."""
-    return f"job-{next(_job_counter):06d}"
+    """Monotonic process-local job id (``job-<nonce>-000001``, ...).
+
+    The nonce disambiguates daemon restarts that share no journal; a
+    journaled service calls :func:`seed_job_counter` to drop it and
+    continue the journal's plain numeric sequence instead.
+    """
+    with _id_lock:
+        return f"job-{_id_nonce}{next(_job_counter):06d}"
+
+
+def seed_job_counter(floor: int, nonce: str | None = None) -> None:
+    """Restart the id sequence above *floor* (journal high-water mark).
+
+    With ``nonce=""`` (what a journaled service passes) new ids are
+    plain ``job-%06d`` continuing the recovered sequence, so clients
+    keep observing collision-free ids across daemon restarts.
+    """
+    global _job_counter, _id_nonce
+    if floor < 0:
+        raise ServiceError(f"job counter floor {floor} must be >= 0")
+    with _id_lock:
+        _job_counter = itertools.count(floor + 1)
+        if nonce is not None:
+            _id_nonce = nonce
+
+
+def job_id_sequence(job_id: str) -> int:
+    """The numeric sequence component of a job id (0 if unparseable)."""
+    tail = job_id.rsplit("-", 1)[-1]
+    return int(tail) if tail.isdigit() else 0
 
 
 @dataclass
@@ -153,3 +188,67 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+
+    def to_spec(self) -> dict[str, Any]:
+        """Full JSON-safe (de)serialization of the job.
+
+        Unlike :meth:`to_dict` (a read-only status snapshot) this
+        round-trips through :meth:`from_spec`: it carries the
+        scheduling policy (timeout, backoff, params) a journal replay
+        needs to actually *re-run* the job.  Traces are excluded —
+        they are observability data, not recovery state.
+        """
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "max_retries": self.max_retries,
+            "backoff": self.backoff,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "result": self.result,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict[str, Any]) -> "Job":
+        """Reconstruct a job from a :meth:`to_spec` dict.
+
+        Terminal jobs come back with their ``done`` event set, so
+        ``wait``/status work identically for recovered and live jobs.
+        """
+        try:
+            state = JobState(spec.get("state", "queued"))
+        except ValueError:
+            raise ServiceError(
+                f"job spec has unknown state {spec.get('state')!r}") \
+                from None
+        try:
+            job = cls(
+                kind=spec["kind"],
+                params=dict(spec.get("params", {})),
+                priority=int(spec.get("priority", 0)),
+                timeout=spec.get("timeout"),
+                max_retries=int(spec.get("max_retries", 0)),
+                backoff=float(spec.get("backoff", 0.1)),
+                job_id=spec["job_id"],
+            )
+        except KeyError as exc:
+            raise ServiceError(
+                f"job spec is missing field {exc.args[0]!r}") from None
+        job.state = state
+        job.attempts = int(spec.get("attempts", 0))
+        job.result = spec.get("result")
+        job.error = spec.get("error")
+        job.submitted_at = float(spec.get("submitted_at",
+                                          job.submitted_at))
+        job.started_at = spec.get("started_at")
+        job.finished_at = spec.get("finished_at")
+        if state.terminal:
+            job.done.set()
+        return job

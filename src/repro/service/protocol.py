@@ -40,6 +40,9 @@ CODE_OVERLOADED = "overloaded"
 CODE_JOB_NOT_FOUND = "job_not_found"
 CODE_BAD_REQUEST = "bad_request"
 CODE_UNKNOWN_OP = "unknown_op"
+#: An armed REPRO_FAULTS injection point fired while handling the
+#: request; the session stays alive and the client may retry.
+CODE_FAULT_INJECTED = "fault_injected"
 
 
 def encode(message: dict[str, Any]) -> bytes:

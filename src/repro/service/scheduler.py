@@ -25,10 +25,12 @@ import threading
 import time
 from typing import Any, Callable
 
-from ..errors import JobNotFoundError, ServiceError
+from ..errors import JobNotFoundError, ReproError, ServiceError
+from ..runtime import faults
 from ..runtime.metrics import ServiceMetrics
 from ..runtime.tracing import Tracer
 from .jobs import Job, JobState
+from .journal import JobJournal
 
 
 class WorkerPool:
@@ -56,17 +58,28 @@ class WorkerPool:
         after every job attempt its values are mirrored into
         ``executor_<name>`` gauges, so the metrics snapshot shows the
         shared worker pool's reuse counters.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal`.  When
+        set, every submission is journaled *before* it is enqueued
+        (write-ahead: a journal failure fails the submit) and every
+        state transition is journaled as it happens (best-effort: a
+        transition-append failure increments
+        ``journal_append_errors`` instead of killing the worker —
+        the worst case is a replay re-running an already-finished
+        job).
     """
 
     def __init__(self, runner: Callable[[Job], Any], workers: int = 2,
                  metrics: ServiceMetrics | None = None,
                  trace_jobs: bool = True,
-                 stats_source: Callable[[], dict] | None = None) -> None:
+                 stats_source: Callable[[], dict] | None = None,
+                 journal: JobJournal | None = None) -> None:
         if workers < 1:
             raise ServiceError(f"workers {workers} must be >= 1")
         self._runner = runner
         self._trace_jobs = trace_jobs
         self._stats_source = stats_source
+        self._journal = journal
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._cond = threading.Condition()
         self._seq = itertools.count()
@@ -95,6 +108,12 @@ class WorkerPool:
                 raise ServiceError(
                     f"job {job.job_id} submitted in state "
                     f"{job.state.value}")
+            if self._journal is not None:
+                # Write-ahead: the job exists durably before it is
+                # runnable.  A journal failure refuses the submit —
+                # accepting work we cannot recover would silently
+                # reintroduce the bug the journal fixes.
+                self._journal.append_submit(job)
             self._jobs[job.job_id] = job
             heapq.heappush(self._ready,
                            (-job.priority, next(self._seq), job))
@@ -176,7 +195,73 @@ class WorkerPool:
             for thread in self._threads:
                 thread.join(timeout)
 
+    # -- crash recovery ---------------------------------------------
+
+    def recover(self, specs: list[dict]) -> dict[str, int]:
+        """Adopt journaled job specs after a restart.
+
+        Terminal jobs are registered so status/wait/trace queries keep
+        answering for them.  ``QUEUED`` jobs go straight back on the
+        ready heap under their original ids.  A job that was
+        ``RUNNING`` when the process died had its attempt interrupted;
+        that attempt *counts* (``attempts`` was journaled when it
+        started), so the job is re-queued with the normal exponential
+        backoff when retries remain and fails with an explicit error
+        otherwise.  Returns per-category counts.
+        """
+        counts = {"terminal": 0, "requeued": 0, "rerun": 0,
+                  "failed": 0}
+        ordered = sorted(specs, key=lambda s: s.get("submitted_at", 0))
+        with self._cond:
+            for spec in ordered:
+                job = Job.from_spec(spec)
+                if job.job_id in self._jobs:
+                    raise ServiceError(
+                        f"duplicate job id {job.job_id} in recovery")
+                self._jobs[job.job_id] = job
+                if job.state.terminal:
+                    counts["terminal"] += 1
+                    continue
+                if job.state is JobState.QUEUED:
+                    heapq.heappush(
+                        self._ready,
+                        (-job.priority, next(self._seq), job))
+                    counts["requeued"] += 1
+                    continue
+                # Interrupted mid-attempt (RUNNING at crash time).
+                job.error = (f"attempt {job.attempts} interrupted by "
+                             f"service restart")
+                if job.attempts_left > 0:
+                    delay = job.backoff * 2 ** (job.attempts - 1)
+                    job.transition(JobState.QUEUED)
+                    self._journal_transition(job)
+                    heapq.heappush(
+                        self._delayed,
+                        (time.monotonic() + delay, next(self._seq),
+                         job))
+                    counts["rerun"] += 1
+                else:
+                    self._finish(job, JobState.FAILED)
+                    counts["failed"] += 1
+            self._update_depth_gauge()
+            self._cond.notify_all()
+        recovered = counts["requeued"] + counts["rerun"]
+        self.metrics.inc("jobs_recovered", recovered)
+        self.metrics.inc("jobs_recovered_failed", counts["failed"])
+        return counts
+
     # -- worker internals -------------------------------------------
+
+    def _journal_transition(self, job: Job) -> None:
+        # Called with the lock held, right after a state change.
+        # Best-effort on purpose: a worker thread must survive a
+        # journal write failure (including injected ones).
+        if self._journal is None:
+            return
+        try:
+            self._journal.append_transition(job)
+        except ReproError:
+            self.metrics.inc("journal_append_errors")
 
     def _discard(self, job: Job) -> None:
         # Called with the lock held: drop *job*'s entries from both
@@ -203,6 +288,7 @@ class WorkerPool:
     def _finish(self, job: Job, state: JobState) -> None:
         # Called with the lock held; records terminal state + metrics.
         job.transition(state)
+        self._journal_transition(job)
         self.metrics.inc(f"jobs_{state.value}")
         self.metrics.observe("job_wall_seconds",
                              job.finished_at - job.submitted_at)
@@ -223,6 +309,7 @@ class WorkerPool:
                     if job.state is JobState.QUEUED:
                         job.attempts += 1
                         job.transition(JobState.RUNNING)
+                        self._journal_transition(job)
                         self._update_depth_gauge()
                         return job
                     # Cancelled while queued: stale heap entry, skip.
@@ -239,10 +326,17 @@ class WorkerPool:
         span_dicts)."""
         box: list[Any] = [None, None, []]
 
+        def invoke() -> Any:
+            # The attempt-level fault point: armed ``exception`` makes
+            # the retry/backoff path real, armed ``crash`` dies
+            # mid-RUNNING so journal replay re-queues this job.
+            faults.fire("scheduler.attempt")
+            return self._runner(job)
+
         def call() -> None:
             if not self._trace_jobs:
                 try:
-                    box[0] = self._runner(job)
+                    box[0] = invoke()
                 except BaseException as exc:  # noqa: BLE001 — reported
                     box[1] = exc
                 return
@@ -255,7 +349,7 @@ class WorkerPool:
                         tracer.span(f"job.{job.kind}", "service",
                                     args={"job_id": job.job_id,
                                           "attempt": job.attempts}):
-                    box[0] = self._runner(job)
+                    box[0] = invoke()
             except BaseException as exc:  # noqa: BLE001 — reported
                 box[1] = exc
             finally:
@@ -277,6 +371,15 @@ class WorkerPool:
             job = self._next_job()
             if job is None:
                 return
+            if self._journal is not None:
+                # Opportunistic compaction between attempts; jobs()
+                # is snapshotted *before* the journal lock is taken
+                # (transition appends hold scheduler-then-journal, so
+                # compaction must never hold journal-then-scheduler).
+                try:
+                    self._journal.maybe_compact(self.jobs())
+                except ReproError:
+                    self.metrics.inc("journal_compact_errors")
             result, exc, timed_out, spans = self._run_attempt(job)
             if self._stats_source is not None:
                 for name, value in self._stats_source().items():
@@ -306,6 +409,7 @@ class WorkerPool:
                 if job.attempts_left > 0 and not self._stopping:
                     delay = job.backoff * 2 ** (job.attempts - 1)
                     job.transition(JobState.QUEUED)
+                    self._journal_transition(job)
                     self.metrics.inc("jobs_retried")
                     heapq.heappush(
                         self._delayed,

@@ -33,10 +33,12 @@ from ..errors import JobNotFoundError, ServiceError, \
 from ..formats.baix import default_index_path
 from ..formats.store import store_extension
 from ..runtime.metrics import ServiceMetrics
+from . import journal as journal_mod
 from . import protocol
 from .cache import ArtifactCache, CacheEntry
 from .gateway import GatewayConfig, GatewayServer
-from .jobs import Job
+from .jobs import Job, seed_job_counter
+from .journal import JobJournal
 from .scheduler import WorkerPool
 
 #: Job kinds the service runner dispatches on.
@@ -74,6 +76,22 @@ class ConversionService:
         ``shards`` parameter overrides it.  All jobs share one
         process-global :class:`~repro.runtime.executor.SharedExecutor`
         — no per-job pool forking.
+    journal_path:
+        Optional write-ahead job journal file.  When set, every
+        submission and state transition is logged durably, and this
+        constructor *replays* an existing journal: jobs that were
+        QUEUED or RUNNING when the previous process died are re-queued
+        under their original ids (an interrupted RUNNING attempt
+        counts against ``max_retries``), finished jobs stay queryable,
+        and the job-id counter is seeded past the journal's high-water
+        mark so new ids never collide with recovered ones.
+    journal_fsync:
+        Journal durability policy (``always``/``interval``/``never``),
+        see :data:`repro.service.journal.FSYNC_POLICIES`.
+    cache_verify:
+        Artifact digest verification policy passed to
+        :class:`ArtifactCache` (``always``/``never`` or a sample
+        probability).
     """
 
     def __init__(self, work_dir: str | os.PathLike[str],
@@ -81,7 +99,10 @@ class ConversionService:
                  cache_dir: str | os.PathLike[str] | None = None,
                  cache_max_bytes: int | None = None,
                  metrics: ServiceMetrics | None = None,
-                 shards_per_rank: int = 1) -> None:
+                 shards_per_rank: int = 1,
+                 journal_path: str | os.PathLike[str] | None = None,
+                 journal_fsync: str = "interval",
+                 cache_verify: str | float = "always") -> None:
         from ..runtime.executor import shared_executor_stats
         if shards_per_rank < 1:
             raise ServiceError(
@@ -93,10 +114,34 @@ class ConversionService:
         self.cache = ArtifactCache(
             cache_dir if cache_dir is not None
             else os.path.join(self.work_dir, "cache"),
-            max_bytes=cache_max_bytes, metrics=self.metrics)
+            max_bytes=cache_max_bytes, metrics=self.metrics,
+            verify=cache_verify)
+        self.journal: JobJournal | None = None
+        recovered: list[dict] = []
+        if journal_path is not None:
+            specs, stats = journal_mod.replay(journal_path)
+            self.metrics.inc("journal_replayed_records",
+                             stats["records"])
+            self.metrics.inc("journal_bad_lines", stats["bad_lines"])
+            # Continue the journal's plain id sequence: recovered and
+            # new job ids share one collision-free numbering that
+            # clients observe across restarts.
+            seed_job_counter(journal_mod.high_water_mark(specs),
+                             nonce="")
+            self.journal = JobJournal(journal_path,
+                                      fsync=journal_fsync)
+            recovered = list(specs.values())
         self.pool = WorkerPool(self._run_job, workers=workers,
                                metrics=self.metrics,
-                               stats_source=shared_executor_stats)
+                               stats_source=shared_executor_stats,
+                               journal=self.journal)
+        if recovered:
+            counts = self.pool.recover(recovered)
+            # The replayed log has served its purpose; snapshotting it
+            # now bounds growth across restart cycles.
+            self.journal.compact(self.pool.jobs())
+            self.metrics.set_gauge("journal_recovered_jobs",
+                                   counts["requeued"] + counts["rerun"])
 
     # -- submission API ---------------------------------------------
 
@@ -147,8 +192,11 @@ class ConversionService:
         return self.metrics.snapshot()
 
     def close(self) -> None:
-        """Stop the worker pool (queued jobs are left unrun)."""
+        """Stop the worker pool (queued jobs are left unrun; with a
+        journal they are recovered by the next incarnation)."""
         self.pool.shutdown()
+        if self.journal is not None:
+            self.journal.close()
 
     # -- the job runner (executes on worker threads) -----------------
 

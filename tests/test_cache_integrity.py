@@ -1,0 +1,233 @@
+"""Tests for artifact-cache integrity: per-file digests, quarantine
+of corrupt entries, the corrupt-meta.json startup regression, publish
+races, temp-dir sweeping, and verification policies."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.runtime.metrics import ServiceMetrics
+from repro.service.cache import ArtifactCache, cache_key, \
+    content_digest, file_digests
+
+
+PAYLOAD = b"bamx-artifact-bytes" * 10
+
+
+def make_input(tmp_path, payload=b"input-bytes"):
+    path = tmp_path / "input.bam"
+    path.write_bytes(payload)
+    return str(path)
+
+
+def builder(entry_dir):
+    with open(os.path.join(entry_dir, "data.bamx"), "wb") as fh:
+        fh.write(PAYLOAD)
+    with open(os.path.join(entry_dir, "data.bamx.baix"), "wb") as fh:
+        fh.write(b"index-bytes")
+
+
+def build_one(tmp_path, **cache_kwargs):
+    cache = ArtifactCache(tmp_path / "cache", **cache_kwargs)
+    source = make_input(tmp_path)
+    entry, hit = cache.get_or_build(source, {"op": "x"}, builder)
+    assert not hit
+    return cache, source, entry
+
+
+# ---------------------------------------------------------------------
+# digest recording and verification
+
+
+def test_meta_records_per_file_digests(tmp_path):
+    _, _, entry = build_one(tmp_path)
+    with open(entry.file("meta.json"), encoding="utf-8") as fh:
+        meta = json.load(fh)
+    assert meta["files"] == {
+        "data.bamx": content_digest(entry.file("data.bamx")),
+        "data.bamx.baix": content_digest(entry.file("data.bamx.baix")),
+    }
+    assert meta["files"] == file_digests(entry.path)
+
+
+def test_corrupt_artifact_is_quarantined_not_served(tmp_path):
+    metrics = ServiceMetrics()
+    cache, source, entry = build_one(tmp_path, metrics=metrics)
+    with open(entry.file("data.bamx"), "ab") as fh:
+        fh.write(b"bit rot")
+    # The rotted entry is never served: lookup quarantines it ...
+    assert cache.lookup(source, {"op": "x"}) is None
+    assert cache.keys() == []
+    assert len(cache.quarantined()) == 1
+    assert metrics.counter("cache_verify_failed") == 1
+    assert metrics.counter("cache_quarantined") == 1
+    # ... and get_or_build transparently rebuilds a clean copy.
+    rebuilt, hit = cache.get_or_build(source, {"op": "x"}, builder)
+    assert not hit
+    with open(rebuilt.file("data.bamx"), "rb") as fh:
+        assert fh.read() == PAYLOAD
+    # A subsequent fetch digest-verifies the rebuilt entry.
+    assert cache.lookup(source, {"op": "x"}) is not None
+    assert metrics.counter("cache_verify_ok") >= 1
+
+
+def test_extra_file_in_entry_fails_verification(tmp_path):
+    cache, source, entry = build_one(tmp_path)
+    with open(entry.file("smuggled.bin"), "wb") as fh:
+        fh.write(b"?")
+    assert cache.lookup(source, {"op": "x"}) is None
+    assert len(cache.quarantined()) == 1
+
+
+# ---------------------------------------------------------------------
+# startup scan robustness (the corrupt-meta regression)
+
+
+def test_truncated_meta_json_quarantined_at_startup(tmp_path):
+    """Regression: a truncated meta.json used to crash ``_scan`` (and
+    with it every service start) with a JSONDecodeError."""
+    metrics = ServiceMetrics()
+    _, source, entry = build_one(tmp_path)
+    meta_path = entry.file("meta.json")
+    data = open(meta_path, "rb").read()
+    with open(meta_path, "wb") as fh:
+        fh.write(data[:len(data) // 2])
+    reopened = ArtifactCache(tmp_path / "cache", metrics=metrics)
+    assert reopened.keys() == []
+    assert len(reopened.quarantined()) == 1
+    assert metrics.counter("cache_scan_errors") == 1
+    # The quarantined key rebuilds cleanly on the next request.
+    rebuilt, hit = reopened.get_or_build(source, {"op": "x"}, builder)
+    assert not hit
+    with open(rebuilt.file("data.bamx"), "rb") as fh:
+        assert fh.read() == PAYLOAD
+
+
+def test_binary_garbage_meta_quarantined_at_startup(tmp_path):
+    _, _, entry = build_one(tmp_path)
+    with open(entry.file("meta.json"), "wb") as fh:
+        fh.write(b"\x00\xff\xfe not json at all")
+    reopened = ArtifactCache(tmp_path / "cache")
+    assert reopened.keys() == []
+    assert len(reopened.quarantined()) == 1
+
+
+def test_non_object_meta_quarantined_at_startup(tmp_path):
+    _, _, entry = build_one(tmp_path)
+    with open(entry.file("meta.json"), "w", encoding="utf-8") as fh:
+        fh.write("[1, 2, 3]")
+    reopened = ArtifactCache(tmp_path / "cache")
+    assert reopened.keys() == []
+    assert len(reopened.quarantined()) == 1
+
+
+def test_stale_build_dirs_swept_at_startup(tmp_path):
+    metrics = ServiceMetrics()
+    cache_dir = tmp_path / "cache"
+    _, _, entry = build_one(tmp_path)
+    stale = cache_dir / ".build-deadbeef-12345"
+    stale.mkdir()
+    (stale / "partial.bamx").write_bytes(b"half")
+    reopened = ArtifactCache(cache_dir, metrics=metrics)
+    assert not stale.exists()
+    assert metrics.counter("cache_tmp_swept") == 1
+    # The published entry itself was adopted untouched.
+    assert reopened.keys() == [entry.key]
+
+
+def test_legacy_entry_without_digests_is_served(tmp_path):
+    """Entries written before digest recording have no ``files`` map;
+    they are served (counted as skipped), not quarantined."""
+    metrics = ServiceMetrics()
+    _, source, entry = build_one(tmp_path)
+    with open(entry.file("meta.json"), encoding="utf-8") as fh:
+        meta = json.load(fh)
+    del meta["files"]
+    with open(entry.file("meta.json"), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh)
+    reopened = ArtifactCache(tmp_path / "cache", metrics=metrics)
+    found = reopened.lookup(source, {"op": "x"})
+    assert found is not None and found.key == entry.key
+    assert metrics.counter("cache_verify_skipped") == 1
+    assert reopened.quarantined() == []
+
+
+# ---------------------------------------------------------------------
+# verification policies
+
+
+def test_verify_never_skips_digest_checks(tmp_path):
+    metrics = ServiceMetrics()
+    cache, source, entry = build_one(tmp_path)
+    with open(entry.file("data.bamx"), "ab") as fh:
+        fh.write(b"rot")
+    lax = ArtifactCache(tmp_path / "cache", metrics=metrics,
+                        verify="never")
+    # Policy "never" trusts the entry (the operator's trade-off).
+    assert lax.lookup(source, {"op": "x"}) is not None
+    assert metrics.counter("cache_verify_failed") == 0
+
+
+def test_verify_policy_validation(tmp_path):
+    with pytest.raises(ServiceError, match="bad cache verify policy"):
+        ArtifactCache(tmp_path / "a", verify="bogus")
+    with pytest.raises(ServiceError, match="not in \\[0, 1\\]"):
+        ArtifactCache(tmp_path / "b", verify=1.5)
+    assert ArtifactCache(tmp_path / "c", verify=0.5).verify_prob == 0.5
+    assert ArtifactCache(tmp_path / "d", verify="never").verify_prob \
+        == 0.0
+
+
+def test_sampled_verification_still_catches_rot(tmp_path):
+    # With p=0.5 the deterministic sampler must verify some fetches;
+    # repeated lookups of a rotted entry eventually quarantine it.
+    metrics = ServiceMetrics()
+    cache, source, entry = build_one(tmp_path)
+    with open(entry.file("data.bamx"), "ab") as fh:
+        fh.write(b"rot")
+    sampled = ArtifactCache(tmp_path / "cache", metrics=metrics,
+                            verify=0.5)
+    for _ in range(32):
+        if sampled.lookup(source, {"op": "x"}) is None:
+            break
+    assert metrics.counter("cache_quarantined") == 1
+
+
+# ---------------------------------------------------------------------
+# concurrent publication
+
+
+def test_lost_publish_race_is_a_hit(tmp_path):
+    """Two cache instances over one directory: the loser of the
+    ``os.rename`` publish race adopts the winner's entry instead of
+    failing with ENOTEMPTY."""
+    metrics = ServiceMetrics()
+    source = make_input(tmp_path)
+    winner = ArtifactCache(tmp_path / "cache")
+    loser = ArtifactCache(tmp_path / "cache", metrics=metrics)
+    entry_w, hit_w = winner.get_or_build(source, {"op": "x"}, builder)
+    assert not hit_w
+    # The loser's in-memory index predates the publish, so it builds —
+    # and collides with the already-published directory.
+    entry_l, hit_l = loser.get_or_build(source, {"op": "x"}, builder)
+    assert not hit_l
+    assert entry_l.path == entry_w.path
+    assert metrics.counter("cache_publish_races") == 1
+    with open(entry_l.file("data.bamx"), "rb") as fh:
+        assert fh.read() == PAYLOAD
+    # No stray temp dirs survive the race.
+    assert [name for name in os.listdir(tmp_path / "cache")
+            if name.startswith(".build-")] == []
+
+
+def test_cache_key_is_content_addressed(tmp_path):
+    a = tmp_path / "a.bam"
+    b = tmp_path / "b.bam"
+    a.write_bytes(b"same-bytes")
+    b.write_bytes(b"same-bytes")
+    assert cache_key(a, {"op": "x"}) == cache_key(b, {"op": "x"})
+    assert cache_key(a, {"op": "x"}) != cache_key(a, {"op": "y"})

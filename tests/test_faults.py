@@ -1,0 +1,365 @@
+"""Tests for the deterministic fault-injection harness and for every
+wired injection point: armed faults surface as structured errors or
+successful recovery — never as an unhandled crash."""
+
+from __future__ import annotations
+
+import json
+import os
+import socket as socketlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.errors import FaultInjectedError, ReproError
+from repro.runtime import faults
+from repro.runtime.metrics import ServiceMetrics
+from repro.service import protocol
+from repro.service.cache import ArtifactCache
+from repro.service.jobs import Job, JobState
+from repro.service.journal import JobJournal, replay
+from repro.service.scheduler import WorkerPool
+from repro.service.server import ServiceDaemon
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """Every test starts and ends with a disarmed registry."""
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def make_input(tmp_path, payload=b"input-bytes"):
+    path = tmp_path / "input.bam"
+    path.write_bytes(payload)
+    return str(path)
+
+
+def make_builder(payload=b"artifact-payload"):
+    def builder(entry_dir):
+        with open(os.path.join(entry_dir, "data.bamx"), "wb") as fh:
+            fh.write(payload)
+        with open(os.path.join(entry_dir, "data.bamx.baix"),
+                  "wb") as fh:
+            fh.write(b"index-bytes")
+    return builder
+
+
+# ---------------------------------------------------------------------
+# spec parsing and registry mechanics
+
+
+def test_parse_spec_full_and_defaults():
+    assert faults.parse_spec(
+        "cache.fetch:partial-write:0.5:7") == \
+        [("cache.fetch", "partial-write", 0.5, 7)]
+    assert faults.parse_spec("journal.append:delay") == \
+        [("journal.append", "delay", 1.0, 0)]
+    assert faults.parse_spec(
+        "cache.build:crash:0.1, scheduler.attempt:exception") == [
+        ("cache.build", "crash", 0.1, 0),
+        ("scheduler.attempt", "exception", 1.0, 0)]
+    assert faults.parse_spec("") == []
+
+
+@pytest.mark.parametrize("bad, detail", [
+    ("cache.fletch:exception", "unknown fault point"),
+    ("cache.fetch:explosion", "unknown fault kind"),
+    ("cache.fetch", "want point:kind"),
+    ("cache.fetch:exception:zap", "bad fault spec"),
+    ("cache.fetch:exception:1.5", "not in [0, 1]"),
+    ("cache.fetch:exception:0.5:x", "bad fault spec"),
+    ("cache.fetch:exception:0.5:1:9", "want point:kind"),
+])
+def test_parse_spec_rejects_typos(bad, detail):
+    # A typo must raise, not silently disarm a test run.
+    with pytest.raises(ReproError) as err:
+        faults.parse_spec(bad)
+    assert detail in str(err.value)
+
+
+def test_arm_disarm_and_snapshot():
+    assert not faults.is_armed()
+    faults.arm("gateway.dispatch:delay:0.5:3")
+    assert faults.is_armed()
+    assert faults.is_armed("gateway.dispatch")
+    assert not faults.is_armed("cache.build")
+    snap = faults.snapshot()
+    assert snap["gateway.dispatch"] == {
+        "kind": "delay", "prob": 0.5, "seed": 3,
+        "evaluations": 0, "fires": 0}
+    faults.disarm()
+    assert not faults.is_armed()
+    assert faults.snapshot() == {}
+
+
+def test_fire_is_deterministic_under_seed():
+    def sequence():
+        faults.arm("scheduler.attempt:exception:0.5:42")
+        fired = []
+        for _ in range(64):
+            try:
+                faults.fire("scheduler.attempt")
+                fired.append(False)
+            except FaultInjectedError:
+                fired.append(True)
+        return fired
+
+    first, second = sequence(), sequence()
+    assert first == second
+    assert True in first and False in first  # prob actually applied
+
+
+def test_fire_exception_kind():
+    faults.arm("journal.append:exception")
+    with pytest.raises(FaultInjectedError,
+                       match="injected fault at journal.append"):
+        faults.fire("journal.append")
+    faults.fire("cache.build")  # other points stay disarmed
+
+
+def test_fire_delay_kind():
+    faults.arm("cache.fetch:delay")
+    start = time.monotonic()
+    faults.fire("cache.fetch")
+    assert time.monotonic() - start >= faults.DELAY_SECONDS * 0.8
+
+
+def test_partial_write_corrupts_but_never_fires():
+    faults.arm("journal.append:partial-write:1.0:5")
+    faults.fire("journal.append")  # no-op at control-flow sites
+    data = b"x" * 100
+    cut = faults.corrupt("journal.append", data)
+    assert len(cut) < len(data)
+    assert data.startswith(cut)
+    assert faults.should_corrupt("journal.append")
+    faults.disarm()
+    assert faults.corrupt("journal.append", data) == data
+    assert not faults.should_corrupt("journal.append")
+
+
+def test_crash_kind_exits_process():
+    code = ("from repro.runtime import faults\n"
+            "faults.arm('scheduler.attempt:crash')\n"
+            "faults.fire('scheduler.attempt')\n"
+            "raise SystemExit(1)  # unreachable\n")
+    env = dict(os.environ, PYTHONPATH=os.path.dirname(
+        os.path.dirname(repro.__file__)))
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.run([sys.executable, "-c", code], env=env)
+    assert proc.returncode == faults.CRASH_EXIT_CODE
+
+
+def test_arm_from_env_in_subprocess():
+    # REPRO_FAULTS reaches a fresh interpreter at import time — the
+    # mechanism the crash smoke test relies on to arm spawned daemons.
+    code = ("from repro.runtime import faults\n"
+            "assert faults.is_armed('gateway.dispatch')\n"
+            "snap = faults.snapshot()['gateway.dispatch']\n"
+            "assert snap['kind'] == 'delay' and snap['prob'] == 0.25\n")
+    env = dict(os.environ,
+               PYTHONPATH=os.path.dirname(
+                   os.path.dirname(repro.__file__)),
+               REPRO_FAULTS="gateway.dispatch:delay:0.25:9")
+    proc = subprocess.run([sys.executable, "-c", code], env=env)
+    assert proc.returncode == 0
+
+
+def test_disarmed_fire_is_cheap():
+    # Loose sanity bound: a disarmed point is one boolean check, so a
+    # hundred thousand evaluations must be effectively free.
+    start = time.monotonic()
+    for _ in range(100_000):
+        faults.fire("cache.fetch")
+    assert time.monotonic() - start < 0.5
+
+
+# ---------------------------------------------------------------------
+# wired points, armed at p=1.0: structured failure or clean recovery
+
+
+def test_scheduler_attempt_exception_exhausts_retries():
+    faults.arm("scheduler.attempt:exception")
+    pool = WorkerPool(lambda job: {"ok": True}, workers=1)
+    try:
+        job = pool.submit(Job(kind="k", max_retries=1, backoff=0.01))
+        assert job.wait(10)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 2
+        assert "injected fault at scheduler.attempt" in job.error
+        assert pool.metrics.counter("jobs_retried") == 1
+    finally:
+        pool.shutdown()
+
+
+def test_scheduler_attempt_fault_recovers_via_retry():
+    # seed 1 at prob 0.5 fires on the first evaluation and not the
+    # second: the first attempt fails, the retry succeeds.
+    faults.arm("scheduler.attempt:exception:0.5:1")
+    pool = WorkerPool(lambda job: {"ok": True}, workers=1)
+    try:
+        job = pool.submit(Job(kind="k", max_retries=2, backoff=0.01))
+        assert job.wait(10)
+        assert job.state is JobState.DONE
+        assert job.attempts == 2
+        assert job.result == {"ok": True}
+        assert job.error is None
+    finally:
+        pool.shutdown()
+
+
+def test_journal_append_fault_refuses_submit(tmp_path):
+    journal = JobJournal(tmp_path / "jobs.jsonl", fsync="never")
+    pool = WorkerPool(lambda job: {"ok": True}, workers=1,
+                      journal=journal)
+    try:
+        faults.arm("journal.append:exception")
+        with pytest.raises(FaultInjectedError):
+            pool.submit(Job(kind="k"))
+        # Write-ahead discipline: the refused job must not exist.
+        assert pool.jobs() == []
+        faults.disarm()
+        job = pool.submit(Job(kind="k"))
+        assert job.wait(10) and job.state is JobState.DONE
+    finally:
+        pool.shutdown()
+        journal.close()
+
+
+def test_journal_append_partial_write_survives_replay(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(path, fsync="never")
+    faults.arm("journal.append:partial-write:1.0:3")
+    for i in range(1, 6):
+        journal.append_submit(Job(kind="k", job_id=f"job-{i:06d}"))
+    faults.disarm()
+    journal.close()
+    specs, stats = replay(path)
+    # Every line was torn; replay skips the damage and keeps going.
+    assert stats["bad_lines"] >= 1
+    assert len(specs) < 5
+
+
+def test_cache_build_exception_fails_clean(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    source = make_input(tmp_path)
+    faults.arm("cache.build:exception")
+    with pytest.raises(FaultInjectedError):
+        cache.get_or_build(source, {"op": "x"}, make_builder())
+    assert cache.keys() == []
+    # The interrupted build's temp dir was cleaned up.
+    assert [name for name in os.listdir(cache.cache_dir)
+            if name.startswith(".build-")] == []
+    faults.disarm()
+    entry, hit = cache.get_or_build(source, {"op": "x"},
+                                    make_builder())
+    assert not hit
+    with open(entry.file("data.bamx"), "rb") as fh:
+        assert fh.read() == b"artifact-payload"
+
+
+def test_cache_build_partial_write_quarantined(tmp_path):
+    metrics = ServiceMetrics()
+    cache = ArtifactCache(tmp_path / "cache", metrics=metrics)
+    source = make_input(tmp_path)
+    faults.arm("cache.build:partial-write:1.0:2")
+    with pytest.raises(
+            Exception, match="failed verification after build"):
+        cache.get_or_build(source, {"op": "x"}, make_builder())
+    # The torn entry was never served and never registered.
+    assert cache.keys() == []
+    assert len(cache.quarantined()) == 1
+    assert metrics.counter("cache_quarantined") == 1
+    faults.disarm()
+    entry, hit = cache.get_or_build(source, {"op": "x"},
+                                    make_builder())
+    assert not hit
+    with open(entry.file("data.bamx"), "rb") as fh:
+        assert fh.read() == b"artifact-payload"
+
+
+def test_cache_fetch_partial_write_quarantines_and_rebuilds(tmp_path):
+    metrics = ServiceMetrics()
+    cache = ArtifactCache(tmp_path / "cache", metrics=metrics)
+    source = make_input(tmp_path)
+    cache.get_or_build(source, {"op": "x"}, make_builder())
+    faults.arm("cache.fetch:partial-write:1.0:4")
+    entry, hit = cache.get_or_build(source, {"op": "x"},
+                                    make_builder())
+    # The rotted entry was quarantined and transparently rebuilt.
+    assert not hit
+    assert len(cache.quarantined()) == 1
+    assert metrics.counter("cache_verify_failed") == 1
+    with open(entry.file("data.bamx"), "rb") as fh:
+        assert fh.read() == b"artifact-payload"
+
+
+class _TinyService:
+    """Minimal ConversionService stand-in for gateway fault tests."""
+
+    def __init__(self) -> None:
+        self.metrics = ServiceMetrics()
+        self.pool = WorkerPool(lambda job: dict(job.params),
+                               workers=1, metrics=self.metrics,
+                               trace_jobs=False)
+
+    def submit(self, kind, params, priority=0, timeout=None,
+               max_retries=0, backoff=0.1):
+        return self.pool.submit(Job(
+            kind=kind, params=dict(params), priority=priority,
+            timeout=timeout, max_retries=max_retries,
+            backoff=backoff))
+
+    def status(self, job_id=None):
+        if job_id is not None:
+            return self.pool.get(job_id).to_dict()
+        return [job.to_dict() for job in self.pool.jobs()]
+
+    def cancel(self, job_id):
+        return self.pool.cancel(job_id)
+
+    def wait(self, job_id, timeout=None):
+        job = self.pool.get(job_id)
+        job.wait(timeout)
+        return job.to_dict()
+
+    def trace(self, job_id):
+        return list(self.pool.get(job_id).trace)
+
+    def metrics_snapshot(self):
+        return self.metrics.snapshot()
+
+    def close(self):
+        self.pool.shutdown()
+
+
+def test_gateway_dispatch_fault_is_structured():
+    service = _TinyService()
+    daemon = ServiceDaemon(service, listen=("127.0.0.1", 0))
+    daemon.start()
+    try:
+        sock = socketlib.create_connection(daemon.tcp_address)
+        sock.settimeout(10)
+        stream = sock.makefile("rwb")
+        try:
+            faults.arm("gateway.dispatch:exception")
+            protocol.write_message(stream, {"op": "ping"})
+            response = json.loads(stream.readline())
+            assert response["ok"] is False
+            assert response["code"] == protocol.CODE_FAULT_INJECTED
+            assert "injected fault at gateway.dispatch" \
+                in response["error"]
+            # The session survives the injected fault and, once
+            # disarmed, the same connection serves normally.
+            faults.disarm()
+            protocol.write_message(stream, {"op": "ping"})
+            assert json.loads(stream.readline()) == \
+                {"ok": True, "pong": True}
+        finally:
+            sock.close()
+    finally:
+        daemon.stop()

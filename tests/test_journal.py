@@ -1,0 +1,218 @@
+"""Tests for the write-ahead job journal: record round-trips, torn
+tails and corrupt lines, fsync policies, compaction, and the job-id
+high-water mark."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalError, ServiceError
+from repro.service.jobs import Job, JobState, job_id_sequence
+from repro.service.journal import JobJournal, high_water_mark, replay
+
+
+def make_job(job_id: str, **kwargs) -> Job:
+    defaults = {"kind": "convert",
+                "params": {"input": "x.sam", "target": "bed",
+                           "out_dir": "out"}}
+    defaults.update(kwargs)
+    return Job(job_id=job_id, **defaults)
+
+
+# ---------------------------------------------------------------------
+# Job spec round-trip
+
+
+def test_job_spec_round_trip():
+    job = make_job("job-000001", priority=3, timeout=7.5,
+                   max_retries=2, backoff=0.25)
+    job.attempts = 1
+    job.transition(JobState.RUNNING)
+    clone = Job.from_spec(json.loads(json.dumps(job.to_spec())))
+    assert clone.to_spec() == job.to_spec()
+    assert clone.state is JobState.RUNNING
+    assert not clone.done.is_set()
+
+
+def test_job_spec_terminal_sets_done():
+    job = make_job("job-000002")
+    job.attempts = 1
+    job.transition(JobState.RUNNING)
+    job.result = {"records": 4}
+    job.transition(JobState.DONE)
+    clone = Job.from_spec(job.to_spec())
+    assert clone.done.is_set()
+    assert clone.wait(0.01)
+    assert clone.result == {"records": 4}
+
+
+def test_job_spec_rejects_garbage():
+    with pytest.raises(ServiceError, match="unknown state"):
+        Job.from_spec({"job_id": "j", "kind": "k", "state": "bogus"})
+    with pytest.raises(ServiceError, match="missing field"):
+        Job.from_spec({"kind": "k"})
+
+
+def test_job_id_sequence():
+    assert job_id_sequence("job-000042") == 42
+    assert job_id_sequence("job-ab12-000007") == 7
+    assert job_id_sequence("weird") == 0
+
+
+# ---------------------------------------------------------------------
+# append + replay
+
+
+def test_journal_round_trip(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(path, fsync="always")
+    a = make_job("job-000001")
+    b = make_job("job-000002", max_retries=1)
+    journal.append_submit(a)
+    journal.append_submit(b)
+    a.attempts = 1
+    a.transition(JobState.RUNNING)
+    journal.append_transition(a)
+    a.result = {"ok": True}
+    a.transition(JobState.DONE)
+    journal.append_transition(a)
+    b.attempts = 1
+    b.transition(JobState.RUNNING)
+    journal.append_transition(b)
+    journal.close()
+
+    specs, stats = replay(path)
+    assert stats["bad_lines"] == 0
+    assert list(specs) == ["job-000001", "job-000002"]
+    assert specs["job-000001"]["state"] == "done"
+    assert specs["job-000001"]["result"] == {"ok": True}
+    assert specs["job-000002"]["state"] == "running"
+    assert specs["job-000002"]["attempts"] == 1
+    assert specs["job-000002"]["max_retries"] == 1
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    specs, stats = replay(tmp_path / "nope.jsonl")
+    assert specs == {} and stats["records"] == 0
+
+
+def test_replay_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(path, fsync="never")
+    journal.append_submit(make_job("job-000001"))
+    journal.close()
+    # Simulate the half-line a crash leaves behind.
+    with open(path, "ab") as fh:
+        fh.write(b'{"event":"submit","job":{"job_id":"job-0000')
+    specs, stats = replay(path)
+    assert list(specs) == ["job-000001"]
+    assert stats["bad_lines"] == 1
+
+
+def test_replay_skips_corrupt_interior_line(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(path, fsync="never")
+    journal.append_submit(make_job("job-000001"))
+    journal.append_submit(make_job("job-000002"))
+    journal.close()
+    lines = path.read_bytes().splitlines(keepends=True)
+    path.write_bytes(lines[0] + b"\x00garbage not json\n" + lines[1])
+    specs, stats = replay(path)
+    assert list(specs) == ["job-000001", "job-000002"]
+    assert stats["bad_lines"] == 1
+
+
+def test_replay_counts_orphan_transitions(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    path.write_text(json.dumps(
+        {"event": "transition", "job_id": "job-000009",
+         "to": "running", "attempts": 1}) + "\n")
+    specs, stats = replay(path)
+    assert specs == {}
+    assert stats["orphan_transitions"] == 1
+
+
+def test_journal_closed_append_raises(tmp_path):
+    journal = JobJournal(tmp_path / "jobs.jsonl")
+    journal.close()
+    with pytest.raises(JournalError, match="closed"):
+        journal.append_submit(make_job("job-000001"))
+
+
+def test_journal_bad_fsync_policy(tmp_path):
+    with pytest.raises(JournalError, match="fsync policy"):
+        JobJournal(tmp_path / "jobs.jsonl", fsync="sometimes")
+
+
+@pytest.mark.parametrize("policy", ["always", "interval", "never"])
+def test_journal_fsync_policies_append(tmp_path, policy):
+    journal = JobJournal(tmp_path / "jobs.jsonl", fsync=policy)
+    journal.append_submit(make_job("job-000001"))
+    journal.close()
+    specs, _ = replay(tmp_path / "jobs.jsonl")
+    assert list(specs) == ["job-000001"]
+
+
+# ---------------------------------------------------------------------
+# compaction
+
+
+def test_compaction_preserves_state_and_shrinks(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(path, fsync="never")
+    jobs = []
+    for i in range(1, 6):
+        job = make_job(f"job-{i:06d}")
+        journal.append_submit(job)
+        job.attempts = 1
+        job.transition(JobState.RUNNING)
+        journal.append_transition(job)
+        job.result = {"i": i}
+        job.transition(JobState.DONE)
+        journal.append_transition(job)
+        jobs.append(job)
+    before_specs, _ = replay(path)
+    before_size = os.path.getsize(path)
+    journal.compact(jobs)
+    after_specs, stats = replay(path)
+    assert os.path.getsize(path) < before_size
+    assert stats["bad_lines"] == 0
+    assert after_specs == before_specs
+    # The journal stays appendable after compaction.
+    journal.append_submit(make_job("job-000099"))
+    journal.close()
+    specs, _ = replay(path)
+    assert "job-000099" in specs
+
+
+def test_auto_compaction_threshold(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(path, fsync="never", compact_threshold=5)
+    job = make_job("job-000001")
+    journal.append_submit(job)
+    assert not journal.maybe_compact([job])
+    for _ in range(5):
+        journal.append_transition(job)
+    assert journal.maybe_compact([job])
+    # One submit line per job after compaction.
+    assert len(path.read_bytes().splitlines()) == 1
+    journal.close()
+
+
+def test_bad_compact_threshold(tmp_path):
+    with pytest.raises(JournalError, match="compact_threshold"):
+        JobJournal(tmp_path / "j.jsonl", compact_threshold=0)
+
+
+# ---------------------------------------------------------------------
+# high-water mark
+
+
+def test_high_water_mark():
+    assert high_water_mark({}) == 0
+    specs = {"job-000007": {}, "job-ab12-000003": {},
+             "job-000041": {}}
+    assert high_water_mark(specs) == 41

@@ -243,7 +243,9 @@ def test_cache_lru_eviction(tmp_path):
         with open(os.path.join(entry_dir, "blob"), "wb") as fh:
             fh.write(b"x" * 1000)
 
-    cache = ArtifactCache(tmp_path / "cache", max_bytes=2600)
+    # The cap fits two entries (1000-byte blob + digest-bearing meta
+    # each) but not three.
+    cache = ArtifactCache(tmp_path / "cache", max_bytes=3000)
     srcs = [write_input(tmp_path / f"in{i}.bam", bytes([i]) * 8)
             for i in range(3)]
     for src in srcs:
