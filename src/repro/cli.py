@@ -293,7 +293,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = GatewayConfig(max_pending_jobs=args.max_pending_jobs)
     cache_verify: object = args.cache_verify
     if cache_verify not in ("always", "never"):
-        cache_verify = float(cache_verify)
+        try:
+            cache_verify = float(cache_verify)
+        except ValueError:
+            # Leave the raw string; ArtifactCache._parse_verify
+            # reports it as a friendly ServiceError.
+            pass
     service = ConversionService(args.work_dir, workers=args.workers,
                                 cache_dir=args.cache_dir,
                                 cache_max_bytes=args.cache_max_bytes,

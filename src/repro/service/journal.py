@@ -88,6 +88,30 @@ class JobJournal:
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
         self._fh = open(self.path, "ab")
+        self._seal_torn_tail()
+
+    def _seal_torn_tail(self) -> None:
+        # A crash mid-append can leave a half-written last line with
+        # no trailing newline.  Appending straight after it would glue
+        # the next record onto the torn fragment, and replay would
+        # drop *both* as one bad_line — turning a harmless torn tail
+        # into a lost acknowledged record.  Sealing the tail with a
+        # newline confines the damage to the torn line itself.
+        try:
+            if os.path.getsize(self.path) == 0:
+                return
+            with open(self.path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                torn = probe.read(1) != b"\n"
+            if torn:
+                self._fh.write(b"\n")
+                self._fh.flush()
+                if self.fsync != "never":
+                    os.fsync(self._fh.fileno())
+        except OSError as exc:
+            raise JournalError(
+                f"cannot repair journal tail {self.path}: {exc}") \
+                from None
 
     # -- writing -----------------------------------------------------
 
@@ -142,18 +166,33 @@ class JobJournal:
         os.fsync(self._fh.fileno())
         self._last_fsync = now
 
+    def needs_compact(self) -> bool:
+        """Whether the record budget is exhausted (cheap pre-check)."""
+        with self._lock:
+            return self.compact_threshold is not None \
+                and self._records_since_compact \
+                >= self.compact_threshold
+
     def maybe_compact(self, jobs: list[Job]) -> bool:
         """Auto-compact when the record budget is exhausted.
 
         The pool calls this opportunistically after journaling; it
-        returns whether a compaction ran.
+        returns whether a compaction ran.  The threshold re-check and
+        the compaction itself happen under one hold of the journal
+        lock, so two racing callers cannot both rewrite the file.
+
+        .. warning:: *jobs* must be a complete snapshot that cannot go
+           stale while this call runs — the caller is responsible for
+           excluding concurrent submits (see
+           :meth:`WorkerPool.compact_journal`, which holds the
+           scheduler lock across snapshot and compaction).  A submit
+           appended to the old file after the snapshot would be erased
+           by the rewrite.
         """
         with self._lock:
-            if self.compact_threshold is None \
-                    or self._records_since_compact \
-                    < self.compact_threshold:
+            if not self.needs_compact():
                 return False
-        self.compact(jobs)
+            self.compact(jobs)
         return True
 
     def compact(self, jobs: list[Job]) -> None:

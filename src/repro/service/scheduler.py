@@ -210,11 +210,20 @@ class WorkerPool:
         otherwise.  Returns per-category counts.
         """
         counts = {"terminal": 0, "requeued": 0, "rerun": 0,
-                  "failed": 0}
+                  "failed": 0, "invalid": 0}
         ordered = sorted(specs, key=lambda s: s.get("submitted_at", 0))
         with self._cond:
             for spec in ordered:
-                job = Job.from_spec(spec)
+                try:
+                    job = Job.from_spec(spec)
+                except ServiceError:
+                    # Valid JSON, bad semantics (unknown state,
+                    # missing kind, ...).  The journal's contract is
+                    # corruption-is-never-fatal: skip and count,
+                    # mirroring how replay() skips bad_lines.
+                    counts["invalid"] += 1
+                    self.metrics.inc("jobs_recover_errors")
+                    continue
                 if job.job_id in self._jobs:
                     raise ServiceError(
                         f"duplicate job id {job.job_id} in recovery")
@@ -249,6 +258,31 @@ class WorkerPool:
         self.metrics.inc("jobs_recovered", recovered)
         self.metrics.inc("jobs_recovered_failed", counts["failed"])
         return counts
+
+    # -- journal compaction -----------------------------------------
+
+    def compact_journal(self, force: bool = False) -> bool:
+        """Compact the journal against a consistent jobs snapshot.
+
+        The snapshot and the rewrite happen inside one critical
+        section holding the scheduler lock first and the journal lock
+        second — the same order every append site uses (submit and
+        transition appends run under ``self._cond``).  Holding the
+        scheduler lock across the rewrite is what makes the snapshot
+        safe: a concurrent :meth:`submit` cannot append its record to
+        the old file after the snapshot was taken, so compaction can
+        never erase an acknowledged submit.  Returns whether a
+        compaction ran.
+        """
+        if self._journal is None:
+            return False
+        with self._cond:
+            jobs = sorted(self._jobs.values(),
+                          key=lambda j: j.submitted_at)
+            if force:
+                self._journal.compact(jobs)
+                return True
+            return self._journal.maybe_compact(jobs)
 
     # -- worker internals -------------------------------------------
 
@@ -371,13 +405,14 @@ class WorkerPool:
             job = self._next_job()
             if job is None:
                 return
-            if self._journal is not None:
-                # Opportunistic compaction between attempts; jobs()
-                # is snapshotted *before* the journal lock is taken
-                # (transition appends hold scheduler-then-journal, so
-                # compaction must never hold journal-then-scheduler).
+            if self._journal is not None \
+                    and self._journal.needs_compact():
+                # Opportunistic compaction between attempts.  The
+                # cheap threshold pre-check keeps the common path off
+                # the scheduler lock; compact_journal re-checks under
+                # the lock, so two racing workers compact only once.
                 try:
-                    self._journal.maybe_compact(self.jobs())
+                    self.compact_journal()
                 except ReproError:
                     self.metrics.inc("journal_compact_errors")
             result, exc, timed_out, spans = self._run_attempt(job)

@@ -138,8 +138,10 @@ class ConversionService:
         if recovered:
             counts = self.pool.recover(recovered)
             # The replayed log has served its purpose; snapshotting it
-            # now bounds growth across restart cycles.
-            self.journal.compact(self.pool.jobs())
+            # now bounds growth across restart cycles.  Workers are
+            # already draining recovered jobs, so the snapshot must go
+            # through the pool's lock-ordered compaction.
+            self.pool.compact_journal(force=True)
             self.metrics.set_gauge("journal_recovered_jobs",
                                    counts["requeued"] + counts["rerun"])
 

@@ -255,6 +255,17 @@ def test_service_cli_cancel_finished_job(service_socket, sim_sam,
     assert "had already finished" in capsys.readouterr().out
 
 
+def test_serve_bad_cache_verify_is_friendly(tmp_path, capsys):
+    # Regression: `--cache-verify bogus` used to crash with a raw
+    # ValueError traceback instead of the ServiceError message.
+    assert run(["serve", "--socket", str(tmp_path / "s.sock"),
+                "--work-dir", str(tmp_path / "work"),
+                "--cache-verify", "bogus"]) == 1
+    err = capsys.readouterr().err
+    assert "bad cache verify policy" in err
+    assert "Traceback" not in err
+
+
 def test_submit_unreachable_socket(tmp_path, sim_sam):
     assert run(["submit", str(sim_sam), "--socket",
                 str(tmp_path / "no.sock"), "--target", "bed",

@@ -112,6 +112,39 @@ def test_replay_tolerates_torn_tail(tmp_path):
     assert stats["bad_lines"] == 1
 
 
+def test_reopen_seals_torn_tail(tmp_path):
+    """Regression: appending straight after a torn tail glued the new
+    record onto the half-line, so replay dropped *both* as one
+    bad_line and the acked record was lost.  Reopening must seal the
+    tail so the damage stays confined to the torn line."""
+    path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(path, fsync="never")
+    journal.append_submit(make_job("job-000001"))
+    journal.close()
+    with open(path, "ab") as fh:
+        fh.write(b'{"event":"submit","job":{"job_id":"job-0000')
+    journal = JobJournal(path, fsync="never")
+    journal.append_submit(make_job("job-000002"))
+    journal.close()
+    specs, stats = replay(path)
+    assert list(specs) == ["job-000001", "job-000002"]
+    assert stats["bad_lines"] == 1
+
+
+def test_reopen_seals_torn_tail_of_all_torn_journal(tmp_path):
+    """The guard must work even when the journal holds *only* a torn
+    fragment (nothing recoverable), where no startup compaction runs
+    to paper over the problem."""
+    path = tmp_path / "jobs.jsonl"
+    path.write_bytes(b'{"event":"submit","job":{"job_id":"job-0000')
+    journal = JobJournal(path, fsync="never")
+    journal.append_submit(make_job("job-000001"))
+    journal.close()
+    specs, stats = replay(path)
+    assert list(specs) == ["job-000001"]
+    assert stats["bad_lines"] == 1
+
+
 def test_replay_skips_corrupt_interior_line(tmp_path):
     path = tmp_path / "jobs.jsonl"
     journal = JobJournal(path, fsync="never")

@@ -59,7 +59,7 @@ def test_recover_categories():
         ])
         # job 3 exhausted its retries when the crash interrupted it.
         assert counts == {"terminal": 1, "requeued": 1, "rerun": 1,
-                          "failed": 1}
+                          "failed": 1, "invalid": 0}
         assert pool.wait_all(10)
         assert pool.get("job-000001").state is JobState.DONE
         rerun = pool.get("job-000002")
@@ -76,6 +76,28 @@ def test_recover_categories():
         assert kept.done.is_set()
         assert pool.metrics.counter("jobs_recovered") == 2
         assert pool.metrics.counter("jobs_recovered_failed") == 1
+    finally:
+        pool.shutdown()
+
+
+def test_recover_skips_invalid_specs():
+    """A journal record that is valid JSON but semantically bad
+    (unknown state, missing kind) must not abort recovery — the
+    daemon still starts, the bad spec is counted and skipped."""
+    pool = WorkerPool(lambda job: {"ran": job.job_id}, workers=1)
+    try:
+        bad_state = spec("job-000001", state="bogus")
+        missing_kind = spec("job-000002")
+        del missing_kind["kind"]
+        counts = pool.recover([bad_state, missing_kind,
+                               spec("job-000003", state="queued")])
+        assert counts["invalid"] == 2
+        assert counts["requeued"] == 1
+        assert pool.metrics.counter("jobs_recover_errors") == 2
+        assert pool.wait_all(10)
+        assert pool.get("job-000003").state is JobState.DONE
+        with pytest.raises(Exception, match="unknown job id"):
+            pool.get("job-000001")
     finally:
         pool.shutdown()
 
@@ -149,6 +171,39 @@ def test_pool_restart_with_journal_finishes_everything(tmp_path):
         pool2.shutdown()
         journal2.close()
         pool1.shutdown(wait=False)
+
+
+def test_compaction_never_loses_racing_submits(tmp_path):
+    """Regression: compaction used to snapshot jobs() before taking
+    the journal lock, so a submit landing in that window was erased
+    by the rewrite.  Hammer submits against forced compactions and
+    check every acknowledged submit survives replay."""
+    path = tmp_path / "jobs.jsonl"
+    journal = JobJournal(path, fsync="never", compact_threshold=2)
+    pool = WorkerPool(lambda job: None, workers=1, journal=journal)
+    submitted: list[str] = []
+    stop = threading.Event()
+
+    def compact_loop():
+        while not stop.is_set():
+            pool.compact_journal(force=True)
+
+    compactor = threading.Thread(target=compact_loop, daemon=True)
+    compactor.start()
+    try:
+        for i in range(200):
+            job = Job(kind="k", job_id=f"job-{i + 1:06d}")
+            pool.submit(job)
+            submitted.append(job.job_id)
+    finally:
+        stop.set()
+        compactor.join(10)
+        assert pool.wait_all(30)
+        pool.shutdown()
+        journal.close()
+    specs, _ = replay(path)
+    missing = [job_id for job_id in submitted if job_id not in specs]
+    assert not missing, f"compaction lost acked submits: {missing}"
 
 
 # ---------------------------------------------------------------------
