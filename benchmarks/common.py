@@ -109,15 +109,26 @@ def speedup_curve(label: str, seq: RankMetrics,
     return curve
 
 
-def best_of(run, repeats: int = 2,
+def bench_repeats(default: int = 3) -> int:
+    """Best-of-N repeat count: ``REPRO_BENCH_REPEATS`` env override,
+    else *default* (3)."""
+    env = os.environ.get("REPRO_BENCH_REPEATS")
+    if env:
+        return max(1, int(env))
+    return default
+
+
+def best_of(run, repeats: int | None = None,
             model: ClusterModel = CLUSTER) -> list[RankMetrics]:
-    """Run *run()* (returning per-rank metrics) *repeats* times and keep
-    the attempt with the smallest modeled parallel time.
+    """Run *run()* (returning per-rank metrics) N times and keep the
+    attempt with the smallest modeled parallel time.
 
     Single-shot max-over-ranks timing is sensitive to GC/allocator
     hiccups on a shared host; best-of-N is the standard way to measure
-    the intrinsic cost.
+    the intrinsic cost.  N defaults to :func:`bench_repeats`.
     """
+    if repeats is None:
+        repeats = bench_repeats()
     best = None
     best_time = float("inf")
     for _ in range(repeats):
@@ -176,13 +187,23 @@ def report_json(name: str, payload: dict) -> str:
 
     The timestamp comes from ``REPRO_BENCH_TIMESTAMP`` when set (so CI
     runs are attributable to a commit time) and the wall clock
-    otherwise.  Returns the path written.
+    otherwise.  A host-environment block (python/numpy versions, core
+    count) makes cross-machine comparisons of committed numbers
+    explicit.  Returns the path written.
     """
+    import platform
+
+    import numpy
     env_ts = os.environ.get("REPRO_BENCH_TIMESTAMP")
     doc = {
         "bench": name,
         "timestamp": float(env_ts) if env_ts else time.time(),
         "smoke": smoke_mode(),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "cpu_count": os.cpu_count(),
+        },
         **payload,
     }
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
@@ -193,12 +214,15 @@ def report_json(name: str, payload: dict) -> str:
     return path
 
 
-def best_seconds(run, repeats: int = 3) -> float:
+def best_seconds(run, repeats: int | None = None) -> float:
     """Best-of-N measured seconds of ``run()`` returning rank metrics.
 
     Sums each attempt's per-rank wall time (compute + I/O), so for a
-    single-rank run this is the rank task's wall clock.
+    single-rank run this is the rank task's wall clock.  N defaults to
+    :func:`bench_repeats`.
     """
+    if repeats is None:
+        repeats = bench_repeats()
     best = float("inf")
     for _ in range(repeats):
         metrics = run()

@@ -60,7 +60,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
             shards_per_rank=args.shards).convert(
                 args.input, args.target, args.out_dir, args.nprocs,
                 args.executor, record_filter=record_filter)
-    elif source.endswith((".bamx", ".bamz")):
+    elif source.endswith((".bamx", ".bamz", ".bamc")):
         result = BamConverter(
             batch_size=args.batch_size,
             pipeline=args.pipeline,
@@ -71,7 +71,8 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         from .core import PreprocArtifacts
         converter = BamConverter(batch_size=args.batch_size,
                                  pipeline=args.pipeline,
-                                 shards_per_rank=args.shards)
+                                 shards_per_rank=args.shards,
+                                 store_format=args.store_format)
         supplied = PreprocArtifacts.for_store(args.bamx, args.baix) \
             if args.bamx else None
         artifacts, pre = converter.ensure_preprocessed(
@@ -90,7 +91,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     else:
         raise ReproError(
             f"cannot tell the source format of {args.input!r}; expected a "
-            f".sam, .bam, .bamx or .bamz file")
+            f".sam, .bam, .bamx, .bamz or .bamc file")
     print(f"converted {result.records} records -> {result.emitted} "
           f"{result.target} objects in {len(result.outputs)} part files "
           f"({result.wall_seconds:.2f}s, {result.nprocs} ranks)")
@@ -101,13 +102,15 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     from .core import BamConverter, PreprocSamConverter
     source = args.input.lower()
     if source.endswith(".bam"):
-        bamx, baix, metrics = BamConverter().preprocess(
+        bamx, baix, metrics = BamConverter(
+            store_format=args.store_format).preprocess(
             args.input, args.work_dir, compress=args.compress)
         print(f"sequential preprocessing: {metrics.records} records, "
               f"{metrics.total_seconds:.2f}s\n  {bamx}\n  {baix}")
     elif source.endswith(".sam"):
         paths, metrics = PreprocSamConverter(
-            shards_per_rank=args.shards).preprocess(
+            shards_per_rank=args.shards,
+            store_format=args.store_format).preprocess(
             args.input, args.work_dir, args.nprocs, args.executor)
         total = sum(m.records for m in metrics)
         print(f"parallel preprocessing ({args.nprocs} ranks): "
@@ -139,10 +142,16 @@ def _cmd_region(args: argparse.Namespace) -> int:
 def _cmd_histogram(args: argparse.Namespace) -> int:
     from .formats.bedgraph import write_bedgraph
     from .formats.sam import SamReader
-    from .stats import histogram_from_records, histogram_to_bedgraph
-    with SamReader(args.input) as reader:
-        histos = histogram_from_records(reader, reader.header,
-                                        args.bin_size)
+    from .stats import histogram_from_records, histogram_from_store, \
+        histogram_to_bedgraph
+    if args.input.lower().endswith((".bamx", ".bamz", ".bamc")):
+        from .formats.store import open_record_store
+        with open_record_store(args.input) as reader:
+            histos = histogram_from_store(reader, args.bin_size)
+    else:
+        with SamReader(args.input) as reader:
+            histos = histogram_from_records(reader, reader.header,
+                                            args.bin_size)
     intervals = []
     for chrom, histo in histos.items():
         intervals.extend(histogram_to_bedgraph(histo, chrom,
@@ -361,6 +370,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         params["shards"] = args.shards
     if args.filter:
         params["filter"] = args.filter
+    if args.store_format != "bamx":
+        params["store_format"] = args.store_format
     kind = "convert"
     if args.region:
         kind = "region"
@@ -456,6 +467,17 @@ def _add_pipeline_arguments(p: argparse.ArgumentParser) -> None:
     _add_shards_argument(p)
 
 
+def _add_store_format_argument(p: argparse.ArgumentParser) -> None:
+    """The preprocessing record-store format knob."""
+    from .formats.store import STORE_FORMATS
+    p.add_argument("--store-format", default="bamx",
+                   choices=STORE_FORMATS,
+                   help="record store written by preprocessing: 'bamx' "
+                        "(default; row-major fixed records) or 'bamc' "
+                        "(slab-columnar, converted through vectorized "
+                        "kernels; outputs are byte-identical)")
+
+
 def _add_shards_argument(p: argparse.ArgumentParser) -> None:
     """The dynamic over-decomposition knob."""
     p.add_argument("--shards", type=int, default=1,
@@ -503,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(BAM input only)")
     p.add_argument("--baix", default=None,
                    help="index for --bamx (default <bamx>.baix)")
+    _add_store_format_argument(p)
     _add_pipeline_arguments(p)
     p.set_defaults(fn=_cmd_convert)
 
@@ -516,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(BAM input only)")
     p.add_argument("--executor", default="simulate",
                    choices=("simulate", "thread", "process"))
+    _add_store_format_argument(p)
     _add_shards_argument(p)
     p.set_defaults(fn=_cmd_preprocess)
 
@@ -534,7 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("flagstat", help="flag statistics "
                                         "(samtools flagstat)")
-    p.add_argument("input", help=".sam or .bam input")
+    p.add_argument("input", help=".sam, .bam, .bamx, .bamz or .bamc "
+                                 "input (columnar stores use the "
+                                 "vectorized kernel)")
     p.add_argument("--nprocs", type=int, default=1,
                    help="parallel counting ranks (SAM input only)")
     p.set_defaults(fn=_cmd_flagstat)
@@ -568,8 +594,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_region)
 
     p = sub.add_parser("histogram", help="binned coverage histogram from "
-                                         "a SAM file")
-    p.add_argument("input", help=".sam input")
+                                         "a SAM file or record store")
+    p.add_argument("input", help=".sam, .bamx, .bamz or .bamc input "
+                                 "(columnar stores use the vectorized "
+                                 "kernel)")
     p.add_argument("--bin-size", type=int, default=25)
     p.add_argument("--output", required=True, help=".bedgraph output")
     p.add_argument("--npy", default=None,
@@ -660,7 +688,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("submit", help="submit a conversion job to a "
                                       "running service")
-    p.add_argument("input", help=".sam, .bam, .bamx or .bamz input")
+    p.add_argument("input", help=".sam, .bam, .bamx, .bamz or .bamc "
+                                 "input")
     _add_service_endpoint_arguments(p)
     p.add_argument("--target", required=True,
                    help="target format (see 'repro formats')")
@@ -675,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("simulate", "thread", "process"))
     p.add_argument("--filter", default=None,
                    help="record filter, e.g. 'q=30,F=0x400,primary'")
+    _add_store_format_argument(p)
     _add_shards_argument(p)
     p.add_argument("--priority", type=int, default=0,
                    help="higher runs first (default 0)")

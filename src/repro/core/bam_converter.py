@@ -52,16 +52,28 @@ def preprocess_bam(bam_path: str | os.PathLike[str],
                    baix_path: str | os.PathLike[str] | None = None,
                    compress: bool = False, level: int = 6,
                    batch_size: int = DEFAULT_BATCH_SIZE,
+                   store_format: str = "bamx",
                    ) -> RankMetrics:
-    """Sequential preprocessing: BAM -> BAMX (or BAMZ) + BAIX.
+    """Sequential preprocessing: BAM -> BAMX/BAMZ/BAMC + BAIX.
 
     Two streaming passes over the BAM (layout planning, then writing);
     the BGZF layer forbids anything but sequential decoding, which is
     why this phase cannot be parallelized (§III-B).  With
     ``compress=True`` the record store is written as BGZF-compressed
-    BAMZ (the paper's future-work extension) instead of raw BAMX.
+    BAMZ (the paper's future-work extension) instead of raw BAMX; with
+    ``store_format="bamc"`` it is written as the slab-columnar BAMC,
+    which the conversion phase reads through the vectorized kernels.
     Returns the phase metrics.
     """
+    from ..formats.store import STORE_FORMATS
+    if store_format not in STORE_FORMATS:
+        raise ConversionError(
+            f"unknown store format {store_format!r}; choose one of "
+            f"{STORE_FORMATS}")
+    if store_format == "bamc" and compress:
+        raise ConversionError(
+            "BAMC does not support BGZF compression; use "
+            "store_format='bamx' with compress=True for BAMZ")
     t0 = time.perf_counter()
     metrics = RankMetrics()
     bam_path = os.fspath(bam_path)
@@ -71,7 +83,8 @@ def preprocess_bam(bam_path: str | os.PathLike[str],
     tracer = get_tracer()
     with tracer.span("preprocess", "bam",
                      args={"input": os.path.basename(bam_path),
-                           "compress": compress}):
+                           "compress": compress,
+                           "store_format": store_format}):
         # Pass 1: plan the fixed-field capacities.
         name_cap = cigar_cap = seq_cap = tag_cap = 0
         count = 0
@@ -86,7 +99,11 @@ def preprocess_bam(bam_path: str | os.PathLike[str],
                 count += 1
         layout = BamxLayout(name_cap, cigar_cap, seq_cap, tag_cap)
         # Pass 2: write aligned records and collect index entries.
-        if compress:
+        if store_format == "bamc":
+            from ..formats.bamc import BamcWriter
+            writer_ctx = BamcWriter(bamx_path, header, layout,
+                                    slab_records=batch_size)
+        elif compress:
             from ..formats.bamz import BamzWriter
             writer_ctx = BamzWriter(bamx_path, header, layout, level=level)
         else:
@@ -265,6 +282,11 @@ def _bamx_range_task(spec: BamxRangeSpec) -> RankMetrics:
         metrics.bytes_read += (spec.stop - spec.start) \
             * reader.layout.record_size
         if spec.pipeline == "batch" and target.mode == "text" \
+                and hasattr(reader, "read_column_batches"):
+            slabs = reader.read_column_batches(spec.start, spec.stop)
+            _write_target_columnar(slabs, reader, target, spec,
+                                   metrics)
+        elif spec.pipeline == "batch" and target.mode == "text" \
                 and hasattr(reader, "read_raw_batches"):
             slabs = reader.read_raw_batches(spec.start, spec.stop,
                                             spec.batch_size)
@@ -287,6 +309,11 @@ def _bamx_pick_task(spec: BamxPickSpec) -> RankMetrics:
         target = bind_target(get_target(spec.target), reader.header)
         metrics.bytes_read += len(spec.indices) * reader.layout.record_size
         if spec.pipeline == "batch" and target.mode == "text" \
+                and hasattr(reader, "read_column_picks"):
+            slabs = reader.read_column_picks(spec.indices)
+            _write_target_columnar(slabs, reader, target, spec,
+                                   metrics)
+        elif spec.pipeline == "batch" and target.mode == "text" \
                 and hasattr(reader, "read_raw"):
             slabs = ((memoryview(reader.read_raw(i)), 1)
                      for i in spec.indices)
@@ -346,6 +373,63 @@ def _write_target_batched(slabs, reader, target, spec,
     metrics.emitted += emitted
 
 
+def _write_target_columnar(slabs, reader, target, spec,
+                           metrics: RankMetrics) -> None:
+    """Columnar text conversion of :class:`~..formats.bamc.ColumnSlab`s.
+
+    Targets with a vectorized kernel emit whole slabs through numpy
+    masks and blob-wide decodes; other targets (and any slab a kernel
+    declines) fall back to record-at-a-time decoding of the same slab,
+    counted in ``metrics.kernel_fallbacks``.  Byte-identical to the
+    per-record path.
+    """
+    from ..formats import kernels as kernel_codec
+    tracer = get_tracer()
+    header = reader.header
+    emit = kernel_codec.kernel_emitter_for(target, header)
+    seen = emitted = batches = fallbacks = 0
+    with tracer.span("write", "io",
+                     args={"out": os.path.basename(spec.out_path)}), \
+            tracer.span("batch.pipeline", "bam",
+                        args={"batch_size": spec.batch_size,
+                              "kernel": emit is not None,
+                              "target": spec.target}) as span, \
+            BufferedTextWriter(spec.out_path, metrics=metrics) as writer:
+        head = target.file_header(header)
+        if head and spec.write_header:
+            writer.write_text(head)
+        out_lines: list[str] = []
+        for slab in slabs:
+            if emit is not None:
+                try:
+                    lines, s = emit(slab, spec.record_filter)
+                    out_lines.extend(lines)
+                    e = len(lines)
+                except kernel_codec.KernelFallback:
+                    s, e = kernel_codec.convert_slab_record(
+                        slab, header, target, spec.record_filter,
+                        out_lines)
+                    fallbacks += 1
+            else:
+                s, e = kernel_codec.convert_slab_record(
+                    slab, header, target, spec.record_filter, out_lines)
+                fallbacks += 1
+            seen += s
+            emitted += e
+            batches += 1
+            if len(out_lines) >= spec.batch_size:
+                writer.write_lines(out_lines)
+                out_lines = []
+        if out_lines:
+            writer.write_lines(out_lines)
+        if span is not None:
+            span.args.update(batches=batches, records=seen,
+                             fallbacks=fallbacks)
+    metrics.records += seen
+    metrics.emitted += emitted
+    metrics.kernel_fallbacks += fallbacks
+
+
 def _write_target(records, target, header: SamHeader, out_path: str,
                   metrics: RankMetrics, write_header: bool = True) -> None:
     with get_tracer().span("write", "io",
@@ -392,11 +476,19 @@ class BamConverter:
         into up to this many shards pulled dynamically by the shared
         worker pool.  ``1`` (default) is the paper-faithful static
         schedule.
+    store_format:
+        Record-store format :meth:`preprocess` writes: ``"bamx"``
+        (default; row-major fixed records, BAMZ when compressed) or
+        ``"bamc"`` (slab-columnar, converted through the vectorized
+        kernels).  Conversion itself dispatches on the store's magic,
+        so either converter reads either store.
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
                  pipeline: str = "batch",
-                 shards_per_rank: int = 1) -> None:
+                 shards_per_rank: int = 1,
+                 store_format: str = "bamx") -> None:
+        from ..formats.store import STORE_FORMATS
         if pipeline not in PIPELINES:
             raise ConversionError(
                 f"unknown pipeline {pipeline!r}; choose one of "
@@ -407,9 +499,14 @@ class BamConverter:
         if shards_per_rank < 1:
             raise ConversionError(
                 f"shards_per_rank {shards_per_rank} must be >= 1")
+        if store_format not in STORE_FORMATS:
+            raise ConversionError(
+                f"unknown store format {store_format!r}; choose one of "
+                f"{STORE_FORMATS}")
         self.batch_size = batch_size
         self.pipeline = pipeline
         self.shards_per_rank = shards_per_rank
+        self.store_format = store_format
 
     def preprocess(self, bam_path: str | os.PathLike[str],
                    work_dir: str | os.PathLike[str],
@@ -418,18 +515,20 @@ class BamConverter:
         """Run sequential preprocessing into *work_dir*.
 
         Returns ``(store_path, baix_path, metrics)``; the store is BAMX,
-        or BGZF-compressed BAMZ when ``compress=True``.
+        BGZF-compressed BAMZ when ``compress=True``, or columnar BAMC
+        when the converter was built with ``store_format="bamc"``.
         """
         from ..formats.store import store_extension
         work_dir = os.fspath(work_dir)
         os.makedirs(work_dir, exist_ok=True)
         stem = os.path.splitext(os.path.basename(os.fspath(bam_path)))[0]
-        bamx_path = os.path.join(work_dir,
-                                 stem + store_extension(compress))
+        bamx_path = os.path.join(
+            work_dir, stem + store_extension(compress, self.store_format))
         baix_path = default_index_path(bamx_path)
         metrics = preprocess_bam(bam_path, bamx_path, baix_path,
                                  compress=compress,
-                                 batch_size=self.batch_size)
+                                 batch_size=self.batch_size,
+                                 store_format=self.store_format)
         return bamx_path, baix_path, metrics
 
     def ensure_preprocessed(self, bam_path: str | os.PathLike[str],

@@ -186,6 +186,7 @@ def _sam_rank_batched(spec: SamRankSpec, reader: RangeLineReader, target,
                              fallbacks=fallbacks)
     metrics.records += seen
     metrics.emitted += emitted
+    metrics.fallbacks += fallbacks
 
 
 class SamConverter:

@@ -45,6 +45,7 @@ class PreprocessSpec:
     read_chunk: int
     batch_size: int = DEFAULT_BATCH_SIZE
     parse_only: bool = False
+    store_format: str = "bamx"
 
     def cost_hint(self) -> float:
         """Relative shard size: bytes of SAM text to parse."""
@@ -110,8 +111,14 @@ def _write_rank_store(spec: PreprocessSpec, records: list,
     tracer = get_tracer()
     header = SamHeader.from_text(spec.header_text)
     layout = plan_layout(records)
+    if spec.store_format == "bamc":
+        from ..formats.bamc import BamcWriter
+        writer_ctx = BamcWriter(spec.bamx_path, header, layout,
+                                slab_records=spec.batch_size)
+    else:
+        writer_ctx = BamxWriter(spec.bamx_path, header, layout)
     with tracer.span("write", "samp", args={"records": len(records)}), \
-            BamxWriter(spec.bamx_path, header, layout) as writer:
+            writer_ctx as writer:
         index_entries = []
         with tracer.span("batch.encode", "samp",
                          args={"batch_size": spec.batch_size}):
@@ -162,14 +169,21 @@ class PreprocSamConverter:
     def __init__(self, read_chunk: int = 4 << 20,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  pipeline: str = "batch",
-                 shards_per_rank: int = 1) -> None:
+                 shards_per_rank: int = 1,
+                 store_format: str = "bamx") -> None:
+        from ..formats.store import STORE_FORMATS
         if shards_per_rank < 1:
             raise ConversionError(
                 f"shards_per_rank {shards_per_rank} must be >= 1")
+        if store_format not in STORE_FORMATS:
+            raise ConversionError(
+                f"unknown store format {store_format!r}; choose one of "
+                f"{STORE_FORMATS}")
         self.read_chunk = read_chunk
         self.batch_size = batch_size
         self.pipeline = pipeline
         self.shards_per_rank = shards_per_rank
+        self.store_format = store_format
 
     def preprocess(self, sam_path: str | os.PathLike[str],
                    work_dir: str | os.PathLike[str], nprocs: int = 1,
@@ -193,16 +207,18 @@ class PreprocSamConverter:
                 partitions = partition_alignments(sam_path, nprocs,
                                                   header_end)
             stem = os.path.splitext(os.path.basename(sam_path))[0]
+            ext = ".bamc" if self.store_format == "bamc" else ".bamx"
             specs = [
                 PreprocessSpec(
                     sam_path=sam_path,
                     start=p.start,
                     end=p.end,
                     bamx_path=os.path.join(
-                        work_dir, f"{stem}.part{p.rank:04d}.bamx"),
+                        work_dir, f"{stem}.part{p.rank:04d}{ext}"),
                     header_text=header.to_text(),
                     read_chunk=self.read_chunk,
                     batch_size=self.batch_size,
+                    store_format=self.store_format,
                 )
                 for p in partitions
             ]
@@ -227,7 +243,8 @@ class PreprocSamConverter:
         t0 = time.perf_counter()
         bam_converter = BamConverter(batch_size=self.batch_size,
                                      pipeline=self.pipeline,
-                                     shards_per_rank=self.shards_per_rank)
+                                     shards_per_rank=self.shards_per_rank,
+                                     store_format=self.store_format)
         outputs: list[str] = []
         # Rank r's total work is the sum of its share of every BAMX file,
         # matching the paper's one-file-at-a-time schedule.

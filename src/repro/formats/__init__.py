@@ -9,6 +9,8 @@ plugin consumes it.
 from .bai import BaiIndex
 from .baix import BaixIndex
 from .bam import BamReader, BamWriter, read_bam, write_bam
+from .bamc import BamcReader, BamcWriter, ColumnSlab, read_bamc, \
+    write_bamc
 from .bamx import BamxLayout, BamxReader, BamxWriter, plan_layout, \
     read_bamx, write_bamx
 from .bamz import BamzReader, BamzWriter, read_bamz, write_bamz
@@ -40,6 +42,7 @@ __all__ = [
     "BamxLayout", "BamxReader", "BamxWriter", "plan_layout",
     "read_bamx", "write_bamx",
     "BamzReader", "BamzWriter", "read_bamz", "write_bamz",
+    "BamcReader", "BamcWriter", "ColumnSlab", "read_bamc", "write_bamc",
     "open_record_store",
     "BaixIndex",
     "BedInterval", "read_bed", "write_bed",

@@ -1,0 +1,341 @@
+"""Vectorized numpy kernels over BAMC column slabs.
+
+Every operation the converter hot loops run per record — filter
+predicates, flagstat category counts, coverage/MAPQ histograms, target
+emission — has a columnar formulation here that touches whole arrays
+at once.  The contracts are strict:
+
+* **Filters** are exactly :meth:`RecordFilter.matches_flag_mapq` as
+  boolean array ops.
+* **Flagstat** counts are exactly what :class:`FlagStats.add` would
+  accumulate record by record (the mate-on-different-chr categories
+  use the ``next_ref``/``ref_id`` columns, which is the integer form
+  of the record path's ``rnext not in ("=", "*", rname)`` test —
+  reference names are unique, so the two are equivalent).
+* **Emitters** produce byte-identical lines to the v1 BAMX fastpaths
+  in :mod:`repro.formats.batch` (and therefore to the per-record
+  pipeline); the interval targets read the precomputed ``end_pos``
+  column instead of re-walking CIGARs.
+
+Targets without a kernel (SAM needs canonical CIGAR/tag text; GFF
+needs tags; JSON/YAML need everything) fall back per slab to the
+decoded-record path — the converters count those slabs as
+``kernel_fallbacks`` so a silently-degraded columnar run is visible in
+the service metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bamc import ColumnSlab
+from .batch import _mate_suffix
+from .header import SamHeader
+from .seq import qual_blob_to_text, reverse_complement, \
+    unpack_sequence_blob
+
+
+class KernelFallback(Exception):
+    """Raised by a kernel emitter when a slab needs the record path."""
+
+
+#: Mate suffix by the (READ1, READ2) bit pair — index with
+#: ``(flag >> 6) & 3``.  Both-set and neither-set read as unpaired,
+#: matching :func:`repro.formats.batch._mate_suffix`.
+_MATE_SUFFIX = ("", "/1", "/2", "")
+assert tuple(_mate_suffix(f << 6) for f in range(4)) == _MATE_SUFFIX
+
+
+def filter_mask(flag: np.ndarray, mapq: np.ndarray,
+                record_filter) -> np.ndarray:
+    """Boolean mask of records passing *record_filter*.
+
+    Vectorized :meth:`~repro.core.filters.RecordFilter.matches_flag_mapq`
+    over FLAG/MAPQ columns.
+    """
+    mask = np.ones(len(flag), dtype=bool)
+    if record_filter.require_flags:
+        mask &= (flag & record_filter.require_flags) \
+            == record_filter.require_flags
+    if record_filter.exclude_flags:
+        mask &= (flag & record_filter.exclude_flags) == 0
+    if record_filter.primary_only:
+        mask &= (flag & 0x900) == 0
+    if record_filter.mapped_only:
+        mask &= (flag & 0x4) == 0
+    if record_filter.min_mapq:
+        mask &= mapq >= record_filter.min_mapq
+    return mask
+
+
+def slab_filter_mask(slab: ColumnSlab, record_filter) -> np.ndarray | None:
+    """:func:`filter_mask` over a slab, or ``None`` for a no-op filter."""
+    if record_filter is None or record_filter.is_noop:
+        return None
+    return filter_mask(slab.flag, slab.mapq, record_filter)
+
+
+# --------------------------------------------------------------------------
+# Flagstat
+# --------------------------------------------------------------------------
+
+def flagstat_counts(flag: np.ndarray, mapq: np.ndarray,
+                    ref_id: np.ndarray, next_ref: np.ndarray,
+                    ) -> dict[str, int]:
+    """samtools-flagstat category counts from columns.
+
+    Field-for-field mirror of :meth:`repro.tools.flagstat.FlagStats.add`
+    accumulated over the whole slab at once.
+    """
+    n = len(flag)
+    mapped = (flag & 0x4) == 0
+    primary = (flag & 0x900) == 0
+    paired = primary & ((flag & 0x1) != 0)
+    paired_mapped = paired & mapped
+    mate_mapped = paired_mapped & ((flag & 0x8) == 0)
+    diff_chr = mate_mapped & (next_ref >= 0) & (next_ref != ref_id)
+    return {
+        "total": n,
+        "secondary": int(np.count_nonzero((flag & 0x100) != 0)),
+        "supplementary": int(np.count_nonzero((flag & 0x800) != 0)),
+        "duplicates": int(np.count_nonzero((flag & 0x400) != 0)),
+        "mapped": int(np.count_nonzero(mapped)),
+        "paired": int(np.count_nonzero(paired)),
+        "read1": int(np.count_nonzero(paired & ((flag & 0x40) != 0))),
+        "read2": int(np.count_nonzero(paired & ((flag & 0x80) != 0))),
+        "properly_paired": int(np.count_nonzero(
+            paired_mapped & ((flag & 0x2) != 0))),
+        "with_mate_mapped": int(np.count_nonzero(mate_mapped)),
+        "singletons": int(np.count_nonzero(
+            paired_mapped & ((flag & 0x8) != 0))),
+        "mate_on_different_chr": int(np.count_nonzero(diff_chr)),
+        "mate_on_different_chr_mapq5": int(np.count_nonzero(
+            diff_chr & (mapq >= 5))),
+    }
+
+
+def flagstat_slab(slab: ColumnSlab) -> dict[str, int]:
+    """:func:`flagstat_counts` over one slab."""
+    return flagstat_counts(slab.flag, slab.mapq, slab.ref_id,
+                           slab.next_ref)
+
+
+# --------------------------------------------------------------------------
+# Histograms
+# --------------------------------------------------------------------------
+
+def mapq_histogram(slab: ColumnSlab,
+                   mask: np.ndarray | None = None) -> np.ndarray:
+    """256-bin MAPQ histogram of one slab (optionally masked)."""
+    mapq = slab.mapq if mask is None else slab.mapq[mask]
+    return np.bincount(mapq, minlength=256)
+
+
+def add_coverage_events(slab: ColumnSlab, ref_id: int, length: int,
+                        diff: np.ndarray) -> None:
+    """Accumulate one slab's coverage starts/ends into *diff*.
+
+    *diff* is a difference array of ``length + 1`` int64 slots;
+    ``np.cumsum(diff[:-1])`` afterwards yields per-base depth.  The
+    selection mirrors :func:`repro.stats.histogram.coverage_depth`:
+    mapped records on *ref_id* with a placed position, intervals
+    clipped to ``[0, length)``, empty intervals dropped.  ``end_pos``
+    is the precomputed ``record.end`` column, so no CIGAR is decoded.
+    """
+    mask = (slab.ref_id == ref_id) & ((slab.flag & 0x4) == 0) \
+        & (slab.pos >= 0)
+    if not mask.any():
+        return
+    starts = np.minimum(slab.pos[mask], length)
+    ends = np.minimum(slab.end_pos[mask], length)
+    valid = ends > starts
+    if not valid.any():
+        return
+    diff[:length + 1] += np.bincount(starts[valid],
+                                     minlength=length + 1)
+    diff[:length + 1] -= np.bincount(ends[valid], minlength=length + 1)
+
+
+def coverage_depth_columns(slabs, ref_id: int,
+                           length: int) -> np.ndarray:
+    """Per-base depth over ``[0, length)`` from an iterable of slabs."""
+    diff = np.zeros(length + 1, dtype=np.int64)
+    for slab in slabs:
+        add_coverage_events(slab, ref_id, length, diff)
+    return np.cumsum(diff[:-1])
+
+
+# --------------------------------------------------------------------------
+# Columnar target emitters.  Each maker returns
+# ``fn(slab, record_filter) -> (lines, seen)`` where *seen* counts
+# post-filter records (matching the v1 pipeline's metrics) and *lines*
+# are byte-identical to the v1 fastpath output.
+# --------------------------------------------------------------------------
+
+def _base_and_seen(slab: ColumnSlab, record_filter,
+                   ) -> tuple[np.ndarray | None, int]:
+    base = slab_filter_mask(slab, record_filter)
+    seen = slab.count if base is None else int(np.count_nonzero(base))
+    return base, seen
+
+
+def _names(slab: ColumnSlab, idx: np.ndarray) -> list[str]:
+    """Read names for *idx*: one blob decode, then string slices."""
+    text = slab.name_blob.decode("ascii")
+    lo = slab.name_lo[idx].tolist()
+    hi = slab.name_hi[idx].tolist()
+    return [text[a:b] for a, b in zip(lo, hi)]
+
+
+def _rnames(refs: list[str], ref_id: list[int]) -> list[str]:
+    return [refs[r] if r >= 0 else "*" for r in ref_id]
+
+
+def _make_bed(header: SamHeader):
+    refs = [r.name for r in header.references]
+
+    def emit(slab: ColumnSlab, record_filter) -> tuple[list[str], int]:
+        base, seen = _base_and_seen(slab, record_filter)
+        keep = ((slab.flag & 0x4) == 0) & (slab.pos >= 0)
+        if base is not None:
+            keep &= base
+        idx = np.flatnonzero(keep)
+        if not idx.size:
+            return [], seen
+        names = _names(slab, idx)
+        rnames = _rnames(refs, slab.ref_id[idx].tolist())
+        pos = slab.pos[idx].tolist()
+        end = slab.end_pos[idx].tolist()
+        mapq = slab.mapq[idx].tolist()  # u8: min(mapq, 1000) == mapq
+        flag = slab.flag[idx].tolist()
+        return [f"{r}\t{p}\t{e}\t{n}\t{q}\t"
+                f"{'-' if f & 0x10 else '+'}"
+                for r, p, e, n, q, f
+                in zip(rnames, pos, end, names, mapq, flag)], seen
+
+    return emit
+
+
+def _make_bedgraph(header: SamHeader):
+    refs = [r.name for r in header.references]
+
+    def emit(slab: ColumnSlab, record_filter) -> tuple[list[str], int]:
+        base, seen = _base_and_seen(slab, record_filter)
+        keep = ((slab.flag & 0x4) == 0) & (slab.pos >= 0)
+        if base is not None:
+            keep &= base
+        idx = np.flatnonzero(keep)
+        if not idx.size:
+            return [], seen
+        rnames = _rnames(refs, slab.ref_id[idx].tolist())
+        pos = slab.pos[idx].tolist()
+        end = slab.end_pos[idx].tolist()
+        return [f"{r}\t{p}\t{e}\t1"
+                for r, p, e in zip(rnames, pos, end)], seen
+
+    return emit
+
+
+def _sequences(slab: ColumnSlab, idx: np.ndarray,
+               lengths: list[int]) -> list[str]:
+    """Decode the selected packed sequences with one blob-wide pass."""
+    lo = slab.seq_lo[idx]
+    hi = slab.seq_hi[idx]
+    return unpack_sequence_blob(slab.seq_blob, lo.tolist(), hi.tolist(),
+                                lengths)
+
+
+def _make_fasta(header: SamHeader):
+    def emit(slab: ColumnSlab, record_filter) -> tuple[list[str], int]:
+        base, seen = _base_and_seen(slab, record_filter)
+        keep = slab.l_seq > 0
+        if base is not None:
+            keep &= base
+        idx = np.flatnonzero(keep)
+        if not idx.size:
+            return [], seen
+        lengths = slab.l_seq[idx].tolist()
+        seqs = _sequences(slab, idx, lengths)
+        names = _names(slab, idx)
+        flags = slab.flag[idx].tolist()
+        return [
+            f">{n}{_MATE_SUFFIX[(f >> 6) & 3]}\n"
+            f"{reverse_complement(s) if f & 0x10 else s}"
+            for n, f, s in zip(names, flags, seqs)], seen
+
+    return emit
+
+
+def _make_fastq(header: SamHeader):
+    def emit(slab: ColumnSlab, record_filter) -> tuple[list[str], int]:
+        base, seen = _base_and_seen(slab, record_filter)
+        keep = ((slab.flag & 0x900) == 0) & (slab.l_seq > 0)
+        if base is not None:
+            keep &= base
+        idx = np.flatnonzero(keep)
+        if not idx.size:
+            return [], seen
+        lengths = slab.l_seq[idx].tolist()
+        seqs = _sequences(slab, idx, lengths)
+        lo = slab.qual_lo[idx].tolist()
+        hi = slab.qual_hi[idx].tolist()
+        quals = qual_blob_to_text(slab.qual_blob, lo, hi)
+        names = _names(slab, idx)
+        flags = slab.flag[idx].tolist()
+        lines = []
+        qual_blob = slab.qual_blob
+        for i, (n, f, s, q) in enumerate(zip(names, flags, seqs,
+                                             quals)):
+            # 0xFF translates to "\xff": all-0xFF means absent quals,
+            # exactly the BAMX decode rule.
+            if q[0] == "\xff" \
+                    and not qual_blob[lo[i]:hi[i]].strip(b"\xff"):
+                q = "!" * len(s)
+            elif f & 0x10:
+                q = q[::-1]
+            if f & 0x10:
+                s = reverse_complement(s)
+            lines.append(f"@{n}{_MATE_SUFFIX[(f >> 6) & 3]}\n{s}\n+\n{q}")
+        return lines, seen
+
+    return emit
+
+
+_KERNEL_MAKERS = {
+    "bed": _make_bed,
+    "bedgraph": _make_bedgraph,
+    "fasta": _make_fasta,
+    "fastq": _make_fastq,
+}
+
+#: Target names with a columnar kernel emitter.
+KERNEL_TARGETS = tuple(sorted(_KERNEL_MAKERS))
+
+
+def kernel_emitter_for(target, header: SamHeader):
+    """Columnar emitter for *target*, or ``None`` if it needs records."""
+    if getattr(target, "mode", "text") != "text":
+        return None
+    maker = _KERNEL_MAKERS.get(getattr(target, "name", None))
+    if maker is None:
+        return None
+    return maker(header)
+
+
+def convert_slab_record(slab: ColumnSlab, header: SamHeader, target,
+                        record_filter,
+                        out: list[str]) -> tuple[int, int]:
+    """Record-at-a-time slab driver for targets without a kernel."""
+    seen = emitted = 0
+    flt = record_filter if record_filter is not None \
+        and not record_filter.is_noop else None
+    emit = target.emit
+    for record in slab.decode_all(header):
+        if flt is not None and not flt.matches(record):
+            continue
+        res = emit(record)
+        seen += 1
+        if res is not None:
+            out.append(res)
+            emitted += 1
+    return seen, emitted

@@ -29,6 +29,9 @@ _FORMATS = {
                    "Binary Alignment/Map (BGZF-compressed)"),
         FormatInfo("bamx", (".bamx",), True,
                    "BAM eXtended: fixed-record-length random-access binary"),
+        FormatInfo("bamc", (".bamc",), True,
+                   "BAM Columnar: slab-columnar BAMX v2 read through "
+                   "vectorized kernels"),
         FormatInfo("bed", (".bed",), False, "Browser Extensible Data"),
         FormatInfo("bedgraph", (".bedgraph", ".bdg"), False,
                    "Scored genome intervals"),
@@ -47,7 +50,7 @@ _FORMATS = {
 }
 
 #: Formats a converter can read alignments from.
-SOURCE_FORMATS = ("sam", "bam", "bamx")
+SOURCE_FORMATS = ("sam", "bam", "bamx", "bamc")
 
 #: Formats a converter can write (the paper's §I list plus GFF).
 TARGET_FORMATS = ("sam", "bam", "bed", "bedgraph", "fasta", "fastq",

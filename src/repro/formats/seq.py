@@ -115,6 +115,42 @@ def qual_text_to_bytes(text: str) -> bytes:
     return text.encode("latin-1").translate(_PHRED33_SUB)
 
 
+def unpack_sequence_blob(blob: bytes, lo: list[int], hi: list[int],
+                         lengths: list[int]) -> list[str]:
+    """Decode many packed sequences out of one blob in a single pass.
+
+    ``blob[lo[i]:hi[i]]`` holds record *i*'s packed bases
+    (``(lengths[i] + 1) // 2`` bytes).  The whole covered byte range is
+    hex-expanded and translated **once** (both C-speed), then each
+    sequence is a string slice — the columnar FASTA/FASTQ kernels'
+    per-slab replacement for calling :func:`unpack_sequence` per
+    record.  Offsets must be non-decreasing (they are slices of one
+    offset table).
+    """
+    if not lo:
+        return []
+    base = lo[0]
+    text = memoryview(blob)[base:hi[-1]].hex().translate(_HEX_TO_BASE)
+    return [text[2 * (a - base):2 * (a - base) + n]
+            for a, n in zip(lo, lengths)]
+
+
+def qual_blob_to_text(blob: bytes, lo: list[int],
+                      hi: list[int]) -> list[str]:
+    """Decode many raw Phred runs out of one blob in a single pass.
+
+    One translate + decode over the covered range, then string slices;
+    the batch counterpart of :func:`qual_bytes_to_text`.  ``0xFF``
+    bytes come out as ``"\\xff"`` characters — callers that honour the
+    all-``0xFF``-means-absent convention check the first character.
+    """
+    if not lo:
+        return []
+    base = lo[0]
+    text = blob[base:hi[-1]].translate(_RAW_TO_PHRED33).decode("latin-1")
+    return [text[a - base:b - base] for a, b in zip(lo, hi)]
+
+
 def validate_seq(seq: str) -> str:
     """Validate that *seq* is ``*`` or entirely nybble-alphabet characters.
 

@@ -1,8 +1,11 @@
-"""Record-store opener: BAMX and BAMZ behind one interface.
+"""Record-store opener: BAMX, BAMZ and BAMC behind one interface.
 
-Both readers expose ``len``, ``[i]``, ``read_range``, iteration,
+All readers expose ``len``, ``[i]``, ``read_range``, iteration,
 ``.header`` and ``.layout``; converters call :func:`open_record_store`
-and never care which physical format backs the store.
+and never care which physical format backs the store.  The columnar
+BAMC reader additionally offers ``read_column_batches`` /
+``read_column_picks``, which the converters feature-detect to run the
+vectorized kernels.
 """
 
 from __future__ import annotations
@@ -11,28 +14,46 @@ import os
 from typing import Union
 
 from ..errors import BamxFormatError
+from . import bamc as _bamc
 from . import bamx as _bamx
+from .bamc import BamcReader
 from .bamx import BamxReader
 from .bamz import BamzReader
 
-RecordStore = Union[BamxReader, BamzReader]
+RecordStore = Union[BamxReader, BamzReader, BamcReader]
+
+#: Record-store formats a converter can write.
+STORE_FORMATS = ("bamx", "bamc")
 
 
 def open_record_store(path: str | os.PathLike[str]) -> RecordStore:
-    """Open a BAMX or BAMZ file, dispatching on its magic bytes."""
+    """Open a BAMX, BAMC or BAMZ file, dispatching on its magic bytes."""
     with open(path, "rb") as fh:
         head = fh.read(len(_bamx.MAGIC))
     if head == _bamx.MAGIC:
         return BamxReader(path)
+    if head == _bamc.MAGIC:
+        return BamcReader(path)
     # BAMZ files are BGZF streams; their magic is inside the first
     # block, so sniff by extension/BGZF framing instead.
     from .bgzf import is_bgzf
     if is_bgzf(path):
         return BamzReader(path)
     raise BamxFormatError(
-        "not a BAMX or BAMZ file", source=os.fspath(path))
+        "not a BAMX, BAMC or BAMZ file", source=os.fspath(path))
 
 
-def store_extension(compress: bool) -> str:
+def store_extension(compress: bool,
+                    store_format: str = "bamx") -> str:
     """Canonical extension for a record store."""
+    if store_format not in STORE_FORMATS:
+        raise BamxFormatError(
+            f"unknown store format {store_format!r}; choose one of "
+            f"{STORE_FORMATS}")
+    if store_format == "bamc":
+        if compress:
+            raise BamxFormatError(
+                "BAMC does not support BGZF compression; use "
+                "store_format='bamx' with compress=True for BAMZ")
+        return ".bamc"
     return ".bamz" if compress else ".bamx"

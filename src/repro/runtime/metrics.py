@@ -40,6 +40,10 @@ class RankMetrics:
     bytes_written: int = 0
     records: int = 0
     emitted: int = 0
+    #: Lines the batch pipeline degraded to the per-record path.
+    fallbacks: int = 0
+    #: Columnar slabs the kernel layer degraded to the record path.
+    kernel_fallbacks: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -55,6 +59,8 @@ class RankMetrics:
             self.bytes_written + other.bytes_written,
             self.records + other.records,
             self.emitted + other.emitted,
+            self.fallbacks + other.fallbacks,
+            self.kernel_fallbacks + other.kernel_fallbacks,
         )
 
     @classmethod
@@ -78,6 +84,8 @@ class RankMetrics:
             bytes_written=sum(m.bytes_written for m in shards),
             records=sum(m.records for m in shards),
             emitted=sum(m.emitted for m in shards),
+            fallbacks=sum(m.fallbacks for m in shards),
+            kernel_fallbacks=sum(m.kernel_fallbacks for m in shards),
         )
 
     @contextmanager

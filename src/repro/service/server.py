@@ -213,7 +213,8 @@ class ConversionService:
         lowered = source.lower()
         if job.kind == "preprocess":
             entry, hit = self._preprocessed(
-                source, compress=bool(params.get("compress", False)))
+                source, compress=bool(params.get("compress", False)),
+                store_format=params.get("store_format", "bamx"))
             return {"artifacts": entry.files(),
                     "cache": "hit" if hit else "miss"}
         if job.kind == "region":
@@ -225,37 +226,58 @@ class ConversionService:
                 params["target"], params["out_dir"], nprocs, executor,
                 mode=params.get("mode", "start"),
                 record_filter=record_filter)
+            self._note_fallbacks(result)
             return _result_dict(result, cache_state)
         # kind == "convert"
         if lowered.endswith(".sam"):
             result = SamConverter(shards_per_rank=shards).convert(
                 source, params["target"], params["out_dir"], nprocs,
                 executor, record_filter=record_filter)
+            self._note_fallbacks(result)
             return _result_dict(result, None)
         store_path, _, cache_state = self._store_for(source, params)
         result = BamConverter(shards_per_rank=shards).convert(
             store_path, params["target"], params["out_dir"], nprocs,
             executor, record_filter=record_filter)
+        self._note_fallbacks(result)
         return _result_dict(result, cache_state)
+
+    def _note_fallbacks(self, result: ConversionResult) -> None:
+        """Roll a job's pipeline degradations into the service counters.
+
+        ``batch_fallbacks`` counts lines the SAM batch pipeline pushed
+        through the per-record path; ``kernel_fallbacks`` counts
+        columnar slabs the kernel layer handed to the record driver.
+        Both show up in ``repro status --metrics``.
+        """
+        batch = sum(m.fallbacks for m in result.rank_metrics)
+        kernel = sum(m.kernel_fallbacks for m in result.rank_metrics)
+        if batch:
+            self.metrics.inc("batch_fallbacks", batch)
+        if kernel:
+            self.metrics.inc("kernel_fallbacks", kernel)
 
     def _store_for(self, source: str, params: dict[str, Any],
                    ) -> tuple[str, str | None, str | None]:
         """Resolve (store path, index path, cache state) for a job.
 
-        BAMX/BAMZ inputs are already preprocessed — they pass through
-        untouched.  BAM inputs go through the artifact cache: a warm
-        cache returns the stored BAMX/BAIX without re-reading the BAM.
+        BAMX/BAMZ/BAMC inputs are already preprocessed — they pass
+        through untouched.  BAM inputs go through the artifact cache: a
+        warm cache returns the stored store/BAIX without re-reading the
+        BAM; the ``store_format`` parameter is part of the cache key,
+        so row and columnar artifacts of one BAM coexist.
         """
         lowered = source.lower()
-        if lowered.endswith((".bamx", ".bamz")):
+        if lowered.endswith((".bamx", ".bamz", ".bamc")):
             baix = params.get("baix")
             return source, baix, None
         if not lowered.endswith(".bam"):
             raise ServiceError(
                 f"cannot tell the source format of {source!r}; expected "
-                f"a .sam, .bam, .bamx or .bamz file")
+                f"a .sam, .bam, .bamx, .bamz or .bamc file")
         entry, hit = self._preprocessed(
-            source, compress=bool(params.get("compress", False)))
+            source, compress=bool(params.get("compress", False)),
+            store_format=params.get("store_format", "bamx"))
         store_path = self._entry_store(entry)
         mode = params.get("mode", "start")
         if mode == "overlap":
@@ -265,18 +287,25 @@ class ConversionService:
         return store_path, default_index_path(store_path), \
             "hit" if hit else "miss"
 
-    def _preprocessed(self, bam_path: str,
-                      compress: bool) -> tuple[CacheEntry, bool]:
+    def _preprocessed(self, bam_path: str, compress: bool,
+                      store_format: str = "bamx",
+                      ) -> tuple[CacheEntry, bool]:
         """Fetch-or-build the preprocessing artifacts for a BAM."""
         from ..core.bam_converter import preprocess_bam
         params = {"op": "preprocess_bam", "compress": compress}
+        if store_format != "bamx":
+            # Appended only for non-default formats so cache entries
+            # built before BAMC existed keep their keys.
+            params["store_format"] = store_format
         stem = os.path.splitext(os.path.basename(bam_path))[0]
 
         def builder(entry_dir: str) -> None:
-            store_path = os.path.join(entry_dir,
-                                      stem + store_extension(compress))
+            store_path = os.path.join(
+                entry_dir,
+                stem + store_extension(compress, store_format))
             metrics = preprocess_bam(bam_path, store_path,
-                                     compress=compress)
+                                     compress=compress,
+                                     store_format=store_format)
             self.metrics.inc("preprocess_runs")
             self.metrics.observe("preprocess_seconds",
                                  metrics.total_seconds)
@@ -287,7 +316,7 @@ class ConversionService:
     def _entry_store(entry: CacheEntry) -> str:
         """The record-store artifact inside a cache entry."""
         for path in entry.files():
-            if path.endswith((".bamx", ".bamz")):
+            if path.endswith((".bamx", ".bamz", ".bamc")):
                 return path
         raise ServiceError(
             f"cache entry {entry.key} holds no record store")

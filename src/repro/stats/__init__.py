@@ -5,7 +5,8 @@ kernels, and the paper's parallelizations."""
 from .fdr import FdrResult, fdr_parallel, fdr_reference, fdr_sorted, \
     fdr_spmd, fdr_vectorized
 from .histogram import bedgraph_to_histogram, bin_coverage, \
-    coverage_depth, histogram_from_records, histogram_to_bedgraph
+    coverage_depth, histogram_from_records, histogram_from_store, \
+    histogram_to_bedgraph
 from .histogram_parallel import histogram_parallel, histogram_spmd
 from .nlmeans import nlmeans, nlmeans_core, nlmeans_reference
 from .nlmeans_fast import nlmeans_auto, nlmeans_fast
@@ -16,6 +17,7 @@ from .peaks import Peak, PeakCallResult, call_peaks, empirical_pvalues, \
 
 __all__ = [
     "coverage_depth", "bin_coverage", "histogram_from_records",
+    "histogram_from_store",
     "histogram_to_bedgraph", "bedgraph_to_histogram",
     "histogram_parallel", "histogram_spmd",
     "nlmeans", "nlmeans_core", "nlmeans_reference",

@@ -72,6 +72,32 @@ def histogram_from_records(records: Iterable[AlignmentRecord],
     return out
 
 
+def histogram_from_store(reader, bin_size: int = 25,
+                         ) -> dict[str, np.ndarray]:
+    """Binned coverage for every reference of an open record store.
+
+    A columnar store (BAMC) accumulates the difference arrays straight
+    from the position/end columns via
+    :func:`repro.formats.kernels.add_coverage_events` — no record or
+    CIGAR is ever decoded; row stores fall back to
+    :func:`histogram_from_records`.
+    """
+    header = reader.header
+    if not hasattr(reader, "read_column_batches"):
+        return histogram_from_records(iter(reader), header, bin_size)
+    from ..formats.kernels import add_coverage_events
+    diffs = {ref.name: np.zeros(ref.length + 1, dtype=np.int64)
+             for ref in header.references}
+    ref_ids = {ref.name: header.ref_id(ref.name)
+               for ref in header.references}
+    lengths = {ref.name: ref.length for ref in header.references}
+    for slab in reader.read_column_batches(0, len(reader)):
+        for name, diff in diffs.items():
+            add_coverage_events(slab, ref_ids[name], lengths[name], diff)
+    return {name: bin_coverage(np.cumsum(diff[:-1]), bin_size)
+            for name, diff in diffs.items()}
+
+
 def histogram_to_bedgraph(histogram: np.ndarray, chrom: str,
                           bin_size: int) -> list[BedGraphInterval]:
     """Render one chromosome's binned histogram as BEDGRAPH intervals

@@ -1,8 +1,10 @@
 """Dataset utilities: flag statistics and structural validation
 (samtools-flagstat and Picard-ValidateSamFile equivalents)."""
 
-from .flagstat import FlagStats, flagstat, flagstat_parallel
+from .flagstat import FlagStats, flagstat, flagstat_parallel, \
+    flagstat_store
 from .validate import ValidationIssue, ValidationReport, validate_file
 
 __all__ = ["FlagStats", "flagstat", "flagstat_parallel",
+           "flagstat_store",
            "ValidationIssue", "ValidationReport", "validate_file"]

@@ -116,13 +116,35 @@ def flagstat_records(records: Iterable[AlignmentRecord]) -> FlagStats:
     return stats
 
 
+def flagstat_store(reader) -> FlagStats:
+    """Flag statistics over an open record store.
+
+    A columnar store (BAMC) is counted with the vectorized
+    :func:`repro.formats.kernels.flagstat_slab` kernel — no record ever
+    materializes; row stores fall back to the record path.
+    """
+    if hasattr(reader, "read_column_batches"):
+        from ..formats.kernels import flagstat_slab
+        stats = FlagStats()
+        for slab in reader.read_column_batches(0, len(reader)):
+            counts = flagstat_slab(slab)
+            for name, value in counts.items():
+                setattr(stats, name, getattr(stats, name) + value)
+        return stats
+    return flagstat_records(reader)
+
+
 def flagstat(path: str | os.PathLike[str]) -> FlagStats:
-    """Sequential flag statistics over a SAM or BAM file."""
+    """Sequential flag statistics over a SAM, BAM or record-store file."""
     lowered = os.fspath(path).lower()
     if lowered.endswith(".bam"):
         from ..formats.bam import BamReader
         with BamReader(path) as reader:
             return flagstat_records(reader)
+    if lowered.endswith((".bamx", ".bamz", ".bamc")):
+        from ..formats.store import open_record_store
+        with open_record_store(path) as reader:
+            return flagstat_store(reader)
     from ..formats.sam import SamReader
     with SamReader(path) as reader:
         return flagstat_records(reader)
