@@ -1,0 +1,145 @@
+"""Self-tuning scheduler: cold-model safety and warm-model wins.
+
+The autotuner closes the tracing→scheduling loop: per-shard spans feed
+a persistent :class:`repro.runtime.autotune.CostModel`, and later jobs
+with ``--shards auto`` pick their over-decomposition from the learned
+cost distribution instead of a hand-tuned constant.  This bench drives
+that loop end to end on the skewed workload of ``bench_scaling_dynamic``
+(chr1 dense with short records, chr2 sparse with long ones):
+
+1. **cold**: an auto run against an empty model must fall back to the
+   static defaults (one task per rank) — never slower than not opting
+   in;
+2. **warm**: a *fresh* tuner over the same model file (persistence,
+   not in-memory state) must choose shards > 1 and beat the static
+   schedule;
+3. the warm choice must be competitive with the best hand-tuned
+   static setting (no regression vs an expert picking ``--shards 8``).
+
+Methodology (1-core host): per-rank / per-shard durations are measured
+with the traced ``simulate`` executor, then ``simulate_schedule``
+models the makespan over WORKERS workers — identical to
+``bench_scaling_dynamic`` so the numbers compose.  All runs must be
+byte-identical.
+
+Gates: full mode — warm auto >= 1.5x over static ranks AND within
+1.15x of the best static baseline, cold auto within 1.1x of static.
+Smoke mode — warm auto within 1.1x of static (timing on the tiny CI
+dataset is too noisy for the decisive-win gate).
+"""
+
+from __future__ import annotations
+
+from repro.core import SamConverter
+from repro.runtime.autotune import AutoTuner, CostModel
+from repro.runtime.executor import simulate_schedule
+from repro.runtime.tracing import Tracer, install
+
+from .bench_scaling_dynamic import WORKERS, _read_parts, _skewed_sam
+from .common import report, report_json, smoke_mode
+
+#: Hand-tuned static baselines the warm auto run competes with.
+STATIC_SHARDS = (1, 8)
+
+
+def _traced_run(converter: SamConverter, sam_path: str,
+                out_dir: str) -> tuple[float, dict | None]:
+    """One simulate-executor conversion; returns (modeled makespan,
+    autotune provenance block or None).
+
+    The makespan is modeled from whichever leaf spans the run emitted —
+    ``shard`` spans when over-decomposed, ``rank`` spans otherwise.
+    """
+    tracer = Tracer(enabled=True)
+    prev = install(tracer)
+    try:
+        converter.convert(sam_path, "bed", out_dir, nprocs=WORKERS)
+    finally:
+        install(prev)
+    spans = tracer.spans()
+    costs = [s.duration for s in spans if s.name == "shard"] \
+        or [s.duration for s in spans if s.name == "rank"]
+    assert costs, "no rank/shard spans recorded"
+    provenance = None
+    for span in spans:
+        if span.name == "autotune":
+            provenance = span.args.get("cost_model")
+    return simulate_schedule(costs, WORKERS), provenance
+
+
+def test_autotune(tmp_path):
+    sam_path = _skewed_sam()
+    model_path = str(tmp_path / "cost-model.json")
+
+    statics = {}
+    for shards in STATIC_SHARDS:
+        makespan, _ = _traced_run(
+            SamConverter(shards_per_rank=shards), sam_path,
+            str(tmp_path / f"static{shards}"))
+        statics[shards] = makespan
+    static_makespan = statics[1]
+    best_static = min(statics.values())
+
+    # Cold: fresh model file — the decision must fall back to defaults.
+    cold_tuner = AutoTuner(CostModel(model_path), workers=WORKERS)
+    cold_makespan, cold_prov = _traced_run(
+        SamConverter(shards_per_rank="auto", tuner=cold_tuner),
+        sam_path, str(tmp_path / "cold"))
+    assert cold_prov is not None, "cold run recorded no autotune span"
+    assert cold_prov["hit"] is False, cold_prov
+    assert cold_prov["shards_per_rank"] == 1, cold_prov
+
+    # Warm: a *fresh* tuner over the same file proves the profile
+    # persisted; the learned skew should pick shards > 1.
+    warm_tuner = AutoTuner(CostModel(model_path), workers=WORKERS)
+    warm_makespan, warm_prov = _traced_run(
+        SamConverter(shards_per_rank="auto", tuner=warm_tuner),
+        sam_path, str(tmp_path / "warm"))
+    assert warm_prov is not None, "warm run recorded no autotune span"
+    assert warm_prov["hit"] is True, warm_prov
+
+    reference = _read_parts(str(tmp_path / "static1"))
+    for label in ["static8", "cold", "warm"]:
+        assert _read_parts(str(tmp_path / label)) == reference, \
+            f"{label} outputs differ from the static baseline"
+
+    payload = {
+        "workers": WORKERS,
+        "static_makespans": {str(k): round(v, 4)
+                             for k, v in statics.items()},
+        "cold": {
+            "makespan": round(cold_makespan, 4),
+            "shards_per_rank": cold_prov["shards_per_rank"],
+            "hit": cold_prov["hit"],
+        },
+        "warm": {
+            "makespan": round(warm_makespan, 4),
+            "shards_per_rank": warm_prov["shards_per_rank"],
+            "batch_size": warm_prov["batch_size"],
+            "hit": warm_prov["hit"],
+        },
+        "auto_speedup": round(static_makespan / warm_makespan, 3),
+        "vs_best_static": round(warm_makespan / best_static, 3),
+    }
+    report_json("autotune", payload)
+    report("autotune", "\n".join([
+        f"static makespans: " + ", ".join(
+            f"shards={k}: {v:.4f}s" for k, v in sorted(statics.items())),
+        f"cold auto:  {cold_makespan:.4f}s "
+        f"(fell back to shards={cold_prov['shards_per_rank']})",
+        f"warm auto:  {warm_makespan:.4f}s "
+        f"(chose shards={warm_prov['shards_per_rank']})",
+        f"auto speedup over static ranks: {payload['auto_speedup']}x",
+        f"warm vs best static baseline:   "
+        f"{payload['vs_best_static']}x of its makespan",
+    ]))
+
+    if smoke_mode():
+        # Tiny CI datasets are too noisy for the decisive-win gate;
+        # hold the safety property only.
+        assert warm_makespan <= static_makespan * 1.1, payload
+    else:
+        assert warm_prov["shards_per_rank"] > 1, warm_prov
+        assert payload["auto_speedup"] >= 1.5, payload
+        assert warm_makespan <= best_static * 1.15, payload
+        assert cold_makespan <= static_makespan * 1.1, payload

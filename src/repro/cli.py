@@ -21,6 +21,51 @@ import numpy as np
 from .errors import ReproError
 
 
+def _knob_value(text: str, name: str):
+    """argparse type for ``--shards``/``--batch-size``: int or 'auto'."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid {name} value {text!r}: expected a positive "
+            f"integer or 'auto'") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"invalid {name} value {text!r}: must be >= 1 (or 'auto')")
+    return value
+
+
+def _shards_value(text: str):
+    return _knob_value(text, "shards")
+
+
+def _batch_size_value(text: str):
+    return _knob_value(text, "batch_size")
+
+
+def _maybe_tuner(args: argparse.Namespace):
+    """Build an AutoTuner when auto-tuning is in play, else None.
+
+    A persistent tuner is wanted when any knob is ``auto`` or the user
+    named a model file; otherwise the converters run the static path
+    (``ensure_tuner`` would still learn in memory, but without a
+    ``--cost-model`` there is nothing durable to show for it).
+    """
+    explicit = getattr(args, "cost_model", None)
+    knobs = (getattr(args, "shards", 1), getattr(args, "batch_size", 0))
+    if explicit is None and "auto" not in knobs:
+        return None
+    from .runtime.autotune import AutoTuner, CostModel, \
+        resolve_model_path
+    model = CostModel(resolve_model_path(explicit))
+    if model.load_error:
+        print(f"warning: ignoring damaged cost model "
+              f"{model.path}: {model.load_error}", file=sys.stderr)
+    return AutoTuner(model)
+
+
 def _parse_chroms(text: str) -> list[tuple[str, int]]:
     """Parse ``chr1:60000,chr2:40000`` into [(name, length), ...]."""
     out = []
@@ -53,18 +98,21 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     record_filter = parse_filter_expr(args.filter) if args.filter \
         else None
     source = args.input.lower()
+    tuner = _maybe_tuner(args)
     if source.endswith(".sam"):
         result = SamConverter(
             batch_size=args.batch_size,
             pipeline=args.pipeline,
-            shards_per_rank=args.shards).convert(
+            shards_per_rank=args.shards,
+            tuner=tuner).convert(
                 args.input, args.target, args.out_dir, args.nprocs,
                 args.executor, record_filter=record_filter)
     elif source.endswith((".bamx", ".bamz", ".bamc")):
         result = BamConverter(
             batch_size=args.batch_size,
             pipeline=args.pipeline,
-            shards_per_rank=args.shards).convert(
+            shards_per_rank=args.shards,
+            tuner=tuner).convert(
                 args.input, args.target, args.out_dir, args.nprocs,
                 args.executor, record_filter=record_filter)
     elif source.endswith(".bam"):
@@ -72,7 +120,8 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         converter = BamConverter(batch_size=args.batch_size,
                                  pipeline=args.pipeline,
                                  shards_per_rank=args.shards,
-                                 store_format=args.store_format)
+                                 store_format=args.store_format,
+                                 tuner=tuner)
         supplied = PreprocArtifacts.for_store(args.bamx, args.baix) \
             if args.bamx else None
         artifacts, pre = converter.ensure_preprocessed(
@@ -110,7 +159,8 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     elif source.endswith(".sam"):
         paths, metrics = PreprocSamConverter(
             shards_per_rank=args.shards,
-            store_format=args.store_format).preprocess(
+            store_format=args.store_format,
+            tuner=_maybe_tuner(args)).preprocess(
             args.input, args.work_dir, args.nprocs, args.executor)
         total = sum(m.records for m in metrics)
         print(f"parallel preprocessing ({args.nprocs} ranks): "
@@ -129,7 +179,8 @@ def _cmd_region(args: argparse.Namespace) -> int:
     result = BamConverter(
         batch_size=args.batch_size,
         pipeline=args.pipeline,
-        shards_per_rank=args.shards).convert_region(
+        shards_per_rank=args.shards,
+        tuner=_maybe_tuner(args)).convert_region(
         args.bamx, args.baix, args.region, args.target, args.out_dir,
         args.nprocs, args.executor, mode=args.mode,
         record_filter=record_filter)
@@ -314,7 +365,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                 shards_per_rank=args.shards,
                                 journal_path=args.journal,
                                 journal_fsync=args.journal_fsync,
-                                cache_verify=cache_verify)
+                                cache_verify=cache_verify,
+                                cost_model_path=args.cost_model)
     if args.journal:
         recovered = int(service.metrics.gauge("journal_recovered_jobs"))
         print(f"journal {args.journal}: {recovered} jobs recovered",
@@ -368,6 +420,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
               "executor": args.executor}
     if args.shards != 1:
         params["shards"] = args.shards
+    if args.batch_size is not None:
+        params["batch_size"] = args.batch_size
     if args.filter:
         params["filter"] = args.filter
     if args.store_format != "bamx":
@@ -435,6 +489,35 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .runtime.autotune import CostModel, resolve_model_path
+    path = resolve_model_path(args.cost_model)
+    model = CostModel(path)
+    if args.action == "reset":
+        n = len(model)
+        model.reset()
+        print(f"cleared {n} cost-model keys ({path})")
+        return 0
+    if model.load_error:
+        print(f"warning: damaged cost model treated as empty: "
+              f"{model.load_error}", file=sys.stderr)
+    snap = model.snapshot()
+    if not snap:
+        print(f"cost model {path}: empty (cold); auto runs fall back "
+              f"to the static defaults until it warms up")
+        return 0
+    print(f"cost model {path}: {len(snap)} keys")
+    print(f"{'key':<36} {'rate s/unit':>12} {'hottest':>12} "
+          f"{'hot%':>5} {'obs':>4}")
+    for key in sorted(snap):
+        entry = snap[key]
+        print(f"{key:<36} {entry['rate']:>12.3e} "
+              f"{entry['rate_max']:>12.3e} "
+              f"{100 * entry['hot_frac']:>4.0f}% "
+              f"{entry['count']:>4d}")
+    return 0
+
+
 def _cmd_formats(_args: argparse.Namespace) -> int:
     from .formats.registry import list_formats
     for info in list_formats():
@@ -456,9 +539,11 @@ def _add_service_endpoint_arguments(p: argparse.ArgumentParser) -> None:
 def _add_pipeline_arguments(p: argparse.ArgumentParser) -> None:
     """Batched-pipeline knobs shared by the conversion commands."""
     from .formats.batch import DEFAULT_BATCH_SIZE, PIPELINES
-    p.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+    p.add_argument("--batch-size", type=_batch_size_value,
+                   default=DEFAULT_BATCH_SIZE,
                    help="records per batch through the chunk-level "
-                        f"codecs (default {DEFAULT_BATCH_SIZE})")
+                        f"codecs (default {DEFAULT_BATCH_SIZE}), or "
+                        f"'auto' to let the cost model choose")
     p.add_argument("--pipeline", default="batch", choices=PIPELINES,
                    help="'batch' (default) uses the chunk-level codecs "
                         "and per-target fastpaths; 'record' keeps the "
@@ -480,11 +565,21 @@ def _add_store_format_argument(p: argparse.ArgumentParser) -> None:
 
 def _add_shards_argument(p: argparse.ArgumentParser) -> None:
     """The dynamic over-decomposition knob."""
-    p.add_argument("--shards", type=int, default=1,
+    p.add_argument("--shards", type=_shards_value, default=1,
                    help="shards per rank for dynamic load balancing on "
                         "the shared worker pool; 1 (default) keeps the "
                         "paper-faithful static one-task-per-rank "
-                        "schedule (outputs are byte-identical)")
+                        "schedule, 'auto' lets the cost model pick "
+                        "(outputs are byte-identical)")
+
+
+def _add_cost_model_argument(p: argparse.ArgumentParser) -> None:
+    """The persistent cost-model path used by 'auto' knobs."""
+    p.add_argument("--cost-model", default=None, metavar="PATH",
+                   help="persistent cost-model profile backing the "
+                        "'auto' knobs and straggler re-splitting "
+                        "(default: $REPRO_COST_MODEL, then "
+                        "~/.cache/repro/cost-model.json)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -527,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="index for --bamx (default <bamx>.baix)")
     _add_store_format_argument(p)
     _add_pipeline_arguments(p)
+    _add_cost_model_argument(p)
     p.set_defaults(fn=_cmd_convert)
 
     p = sub.add_parser("preprocess", help="BAMX/BAIX preprocessing only")
@@ -541,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("simulate", "thread", "process"))
     _add_store_format_argument(p)
     _add_shards_argument(p)
+    _add_cost_model_argument(p)
     p.set_defaults(fn=_cmd_preprocess)
 
     p = sub.add_parser("sort", help="coordinate-sort a SAM/BAM file "
@@ -591,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--filter", default=None,
                    help="record filter, e.g. 'q=30,F=0x400,primary'")
     _add_pipeline_arguments(p)
+    _add_cost_model_argument(p)
     p.set_defaults(fn=_cmd_region)
 
     p = sub.add_parser("histogram", help="binned coverage histogram from "
@@ -684,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "'always' (default), 'never', or a sample "
                         "probability like 0.1")
     _add_shards_argument(p)
+    _add_cost_model_argument(p)
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit a conversion job to a "
@@ -706,6 +805,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record filter, e.g. 'q=30,F=0x400,primary'")
     _add_store_format_argument(p)
     _add_shards_argument(p)
+    p.add_argument("--batch-size", type=_batch_size_value, default=None,
+                   help="records per batch, or 'auto' (default: the "
+                        "service's own default)")
     p.add_argument("--priority", type=int, default=0,
                    help="higher runs first (default 0)")
     p.add_argument("--timeout", type=float, default=None,
@@ -731,6 +833,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("job", help="job id")
     _add_service_endpoint_arguments(p)
     p.set_defaults(fn=_cmd_cancel)
+
+    p = sub.add_parser("tune", help="inspect or reset the persistent "
+                                    "cost model behind 'auto' knobs")
+    p.add_argument("action", choices=("show", "reset"),
+                   help="'show' prints every learned key; 'reset' "
+                        "forgets them and removes the model file")
+    _add_cost_model_argument(p)
+    p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser("formats", help="list supported formats")
     p.set_defaults(fn=_cmd_formats)

@@ -35,13 +35,15 @@ from ..formats.batch import DEFAULT_BATCH_SIZE, PIPELINES
 from ..formats.store import open_record_store
 from ..formats.header import SamHeader
 from ..formats.tags import encode_tags
+from ..runtime.autotune import AUTO, AutoTuner
 from ..runtime.buffers import BufferedTextWriter
 from ..runtime.metrics import RankMetrics
 from ..runtime.partition import partition_records
 from ..runtime.tracing import get_tracer
 from .base import ConversionResult, bind_target, emit_records, \
-    execute_rank_tasks, finish_rank_metrics, make_output_path, \
-    merge_shard_outputs
+    ensure_tuner, execute_rank_tasks, finish_rank_metrics, \
+    make_output_path, merge_shard_outputs, record_tuning, \
+    resolve_tuning, validate_knob
 from .filters import ACCEPT_ALL, RecordFilter
 from .region import GenomicRegion
 from .targets import get_target
@@ -475,38 +477,45 @@ class BamConverter:
         Over-decomposition factor: each rank's record range is split
         into up to this many shards pulled dynamically by the shared
         worker pool.  ``1`` (default) is the paper-faithful static
-        schedule.
+        schedule; ``"auto"`` lets the cost model pick per job.
     store_format:
         Record-store format :meth:`preprocess` writes: ``"bamx"``
         (default; row-major fixed records, BAMZ when compressed) or
         ``"bamc"`` (slab-columnar, converted through the vectorized
         kernels).  Conversion itself dispatches on the store's magic,
         so either converter reads either store.
+    tuner:
+        :class:`~repro.runtime.autotune.AutoTuner` resolving ``"auto"``
+        knobs and learning from every run; auto-created in-memory when
+        omitted but a knob is ``"auto"``.
     """
 
-    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
+    def __init__(self, batch_size: int | str = DEFAULT_BATCH_SIZE,
                  pipeline: str = "batch",
-                 shards_per_rank: int = 1,
-                 store_format: str = "bamx") -> None:
+                 shards_per_rank: int | str = 1,
+                 store_format: str = "bamx",
+                 tuner: AutoTuner | None = None) -> None:
         from ..formats.store import STORE_FORMATS
         if pipeline not in PIPELINES:
             raise ConversionError(
                 f"unknown pipeline {pipeline!r}; choose one of "
                 f"{PIPELINES}")
-        if batch_size < 1:
-            raise ConversionError(
-                f"batch_size {batch_size} must be >= 1")
-        if shards_per_rank < 1:
-            raise ConversionError(
-                f"shards_per_rank {shards_per_rank} must be >= 1")
         if store_format not in STORE_FORMATS:
             raise ConversionError(
                 f"unknown store format {store_format!r}; choose one of "
                 f"{STORE_FORMATS}")
-        self.batch_size = batch_size
+        self.batch_size = validate_knob(batch_size, "batch_size")
         self.pipeline = pipeline
-        self.shards_per_rank = shards_per_rank
+        self.shards_per_rank = validate_knob(shards_per_rank,
+                                             "shards_per_rank")
         self.store_format = store_format
+        self.tuner = ensure_tuner(tuner, self.shards_per_rank,
+                                  self.batch_size)
+
+    def _store_kind(self, store_path: str) -> str:
+        """Cost-model store component, from the store's extension."""
+        ext = os.path.splitext(store_path)[1].lstrip(".").lower()
+        return ext or self.store_format
 
     def preprocess(self, bam_path: str | os.PathLike[str],
                    work_dir: str | os.PathLike[str],
@@ -525,9 +534,11 @@ class BamConverter:
         bamx_path = os.path.join(
             work_dir, stem + store_extension(compress, self.store_format))
         baix_path = default_index_path(bamx_path)
+        batch_size = DEFAULT_BATCH_SIZE if self.batch_size == AUTO \
+            else self.batch_size
         metrics = preprocess_bam(bam_path, bamx_path, baix_path,
                                  compress=compress,
-                                 batch_size=self.batch_size,
+                                 batch_size=batch_size,
                                  store_format=self.store_format)
         return bamx_path, baix_path, metrics
 
@@ -573,18 +584,26 @@ class BamConverter:
                 count = len(reader)
             target_plugin = get_target(target)
             stem = os.path.splitext(os.path.basename(bamx_path))[0]
+            shards, batch_size, tuning = resolve_tuning(
+                self.tuner, target=target,
+                store_format=self._store_kind(bamx_path),
+                pipeline=self.pipeline, total_units=count,
+                nprocs=nprocs, shards=self.shards_per_rank,
+                batch_size=self.batch_size,
+                default_batch=DEFAULT_BATCH_SIZE)
             specs = [
                 BamxRangeSpec(bamx_path, start, stop, target,
                               make_output_path(out_dir, stem, rank,
                                                target_plugin),
                               record_filter or ACCEPT_ALL,
-                              self.batch_size, self.pipeline)
+                              batch_size, self.pipeline)
                 for rank, (start, stop)
                 in enumerate(partition_records(count, nprocs))
             ]
             rank_metrics = execute_rank_tasks(
                 _bamx_range_task, specs, executor,
-                shards_per_rank=self.shards_per_rank)
+                shards_per_rank=shards, tuning=tuning)
+            record_tuning(tracer, tuning)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],
@@ -650,6 +669,14 @@ class BamConverter:
                                                      region.end)
             target_plugin = get_target(target)
             stem = os.path.splitext(os.path.basename(bamx_path))[0]
+            shards, batch_size, tuning = resolve_tuning(
+                self.tuner, target=target,
+                store_format=self._store_kind(bamx_path),
+                pipeline=f"{self.pipeline}.pick",
+                total_units=len(indices), nprocs=nprocs,
+                shards=self.shards_per_rank,
+                batch_size=self.batch_size,
+                default_batch=DEFAULT_BATCH_SIZE)
             specs = [
                 BamxPickSpec(bamx_path,
                              tuple(int(i) for i in indices[start:stop]),
@@ -657,13 +684,14 @@ class BamConverter:
                              make_output_path(out_dir, f"{stem}.region",
                                               rank, target_plugin),
                              record_filter or ACCEPT_ALL,
-                             self.batch_size, self.pipeline)
+                             batch_size, self.pipeline)
                 for rank, (start, stop)
                 in enumerate(partition_records(len(indices), nprocs))
             ]
             rank_metrics = execute_rank_tasks(
                 _bamx_pick_task, specs, executor,
-                shards_per_rank=self.shards_per_rank)
+                shards_per_rank=shards, tuning=tuning)
+            record_tuning(tracer, tuning)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],
@@ -740,18 +768,27 @@ class BamConverter:
                         indices.append(i)
             target_plugin = get_target(target)
             stem = os.path.splitext(os.path.basename(bamx_path))[0]
+            shards, batch_size, tuning = resolve_tuning(
+                self.tuner, target=target,
+                store_format=self._store_kind(bamx_path),
+                pipeline=f"{self.pipeline}.pick",
+                total_units=len(indices), nprocs=nprocs,
+                shards=self.shards_per_rank,
+                batch_size=self.batch_size,
+                default_batch=DEFAULT_BATCH_SIZE)
             specs = [
                 BamxPickSpec(bamx_path, tuple(indices[start:stop]), target,
                              make_output_path(out_dir, f"{stem}.regions",
                                               rank, target_plugin),
                              record_filter or ACCEPT_ALL,
-                             self.batch_size, self.pipeline)
+                             batch_size, self.pipeline)
                 for rank, (start, stop)
                 in enumerate(partition_records(len(indices), nprocs))
             ]
             rank_metrics = execute_rank_tasks(
                 _bamx_pick_task, specs, executor,
-                shards_per_rank=self.shards_per_rank)
+                shards_per_rank=shards, tuning=tuning)
+            record_tuning(tracer, tuning)
         return ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],

@@ -20,12 +20,13 @@ import os
 import shutil
 import time
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..errors import ConversionError, RuntimeLayerError
 from ..formats.header import SamHeader
 from ..formats.record import AlignmentRecord
+from ..runtime.autotune import AUTO, JobTuning, MAX_RESPLIT_ROUNDS
 from ..runtime.buffers import BufferedTextWriter
 from ..runtime.executor import get_shared_executor
 from ..runtime.metrics import RankMetrics
@@ -34,6 +35,101 @@ from .targets import TargetFormat
 
 #: Executors accepted by the converters.
 EXECUTORS = ("simulate", "thread", "process")
+
+
+def validate_knob(value: Any, name: str) -> int | str:
+    """Validate a tuning knob that accepts a positive int or ``"auto"``.
+
+    Returns the int or the canonical :data:`~repro.runtime.autotune.AUTO`
+    sentinel; anything else raises :class:`~repro.errors.ConversionError`
+    naming the bad value (no raw ``int()`` tracebacks).
+    """
+    if isinstance(value, str):
+        if value.strip().lower() == AUTO:
+            return AUTO
+        try:
+            value = int(value)
+        except ValueError:
+            raise ConversionError(
+                f"invalid {name} value {value!r}: expected a positive "
+                f"integer or 'auto'") from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConversionError(
+            f"invalid {name} value {value!r}: expected a positive "
+            f"integer or 'auto'")
+    if value < 1:
+        raise ConversionError(
+            f"invalid {name} value {value}: must be >= 1 (or 'auto')")
+    return value
+
+
+def ensure_tuner(tuner: Any, *knobs: Any) -> Any:
+    """The tuner a converter should use.
+
+    An explicit tuner wins.  Otherwise, when any knob is ``"auto"``, a
+    private in-memory tuner is created (cold -> defaults, warming
+    across this converter instance's calls); with neither, ``None`` —
+    fully manual knobs pay zero tuning overhead.
+    """
+    if tuner is not None or AUTO not in knobs:
+        return tuner
+    from ..runtime.autotune import AutoTuner, CostModel
+    return AutoTuner(CostModel())
+
+
+def resolve_tuning(tuner: Any, target: str, store_format: str,
+                   pipeline: str, total_units: float, nprocs: int,
+                   shards: int | str, batch_size: int | str,
+                   default_batch: int,
+                   ) -> tuple[int, int, JobTuning | None]:
+    """Resolve possibly-``"auto"`` knobs into concrete values.
+
+    Returns ``(shards_per_rank, batch_size, tuning)``; without a tuner
+    the ``"auto"`` knobs just fall back to the defaults and *tuning* is
+    ``None`` (no budgets, no observations).
+    """
+    if tuner is None:
+        return (1 if shards == AUTO else shards,
+                default_batch if batch_size == AUTO else batch_size,
+                None)
+    tuning = tuner.begin_job(
+        target=target, store_format=store_format, pipeline=pipeline,
+        total_units=total_units, nprocs=nprocs, shards=shards,
+        batch_size=batch_size, default_batch=default_batch)
+    return tuning.shards_per_rank, tuning.batch_size, tuning
+
+
+def record_tuning(tracer: Tracer, tuning: JobTuning | None) -> None:
+    """Persist a job's observations and trace its ``cost_model`` block.
+
+    The provenance span nests under whatever span is active — the
+    converter's ``convert`` span, and through it the service's
+    per-attempt job span — so ``repro status --trace JOB`` explains
+    every auto decision.
+    """
+    if tuning is None:
+        return
+    tuning.finish()
+    with tracer.span("autotune", "autotune",
+                     args={"cost_model": tuning.provenance()}):
+        pass
+
+
+@dataclass(slots=True)
+class ShardRemainder:
+    """A budgeted shard task yielded early: partial results plus the
+    spec covering its unconsumed input.
+
+    Cooperative straggler handling: a spec carrying ``budget_seconds``
+    checks its elapsed time at batch boundaries and, once over budget,
+    stops cleanly (output written so far stays valid) and returns this
+    instead of plain metrics.  The scheduler re-splits ``tail_spec``
+    and dispatches the pieces across the pool; the ordered per-rank
+    reduction keeps the final output byte-identical.
+    """
+
+    metrics: RankMetrics
+    tail_spec: Any
 
 
 @dataclass(slots=True)
@@ -76,7 +172,9 @@ class ConversionResult:
 def execute_rank_tasks(task_fn: Callable[[Any], RankMetrics],
                        specs: Sequence[Any],
                        executor: str = "simulate",
-                       shards_per_rank: int = 1) -> list[RankMetrics]:
+                       shards_per_rank: int = 1,
+                       tuning: JobTuning | None = None,
+                       ) -> list[RankMetrics]:
     """Run ``task_fn(spec)`` once per rank spec; return per-rank metrics.
 
     Executors
@@ -105,6 +203,18 @@ def execute_rank_tasks(task_fn: Callable[[Any], RankMetrics],
     reducer, so outputs stay byte-identical to the static run).  Specs
     without ``split`` — and calls where nothing decomposes — fall back
     to the static one-task-per-rank schedule.
+
+    Tuning
+    ------
+    With a :class:`~repro.runtime.autotune.JobTuning`, the sharded
+    schedule becomes *adaptive*: shards carry straggler budgets (model
+    prediction x straggler factor, or — on the sequential executor with
+    a cold model — the median of completed siblings), budget-blown
+    shards yield a :class:`ShardRemainder` whose tail is re-split and
+    re-dispatched (bounded waves; the final wave is un-budgeted so the
+    job always terminates), and measured ``(units, seconds)`` pairs
+    flow back into the cost model from both the sharded and the static
+    path.
     """
     if executor not in EXECUTORS:
         raise RuntimeLayerError(
@@ -117,15 +227,37 @@ def execute_rank_tasks(task_fn: Callable[[Any], RankMetrics],
     tracer = get_tracer()
     groups = _shard_plan(specs, shards_per_rank)
     if groups is not None:
-        return _execute_sharded(task_fn, specs, groups, executor, tracer)
+        return _execute_sharded(task_fn, specs, groups, executor, tracer,
+                                tuning)
     if tracer.enabled:
-        return _execute_rank_tasks_traced(task_fn, specs, executor,
-                                          tracer)
-    if executor == "simulate" or len(specs) == 1:
-        return [task_fn(spec) for spec in specs]
-    labels = [f"rank {rank}" for rank in range(len(specs))]
-    return get_shared_executor().map_tasks(task_fn, list(specs), executor,
-                                           labels=labels)
+        results = _execute_rank_tasks_traced(task_fn, specs, executor,
+                                             tracer)
+    elif executor == "simulate" or len(specs) == 1:
+        results = [task_fn(spec) for spec in specs]
+    else:
+        labels = [f"rank {rank}" for rank in range(len(specs))]
+        results = get_shared_executor().map_tasks(
+            task_fn, list(specs), executor, labels=labels)
+    if tuning is not None:
+        _feed_observations(tuning, specs, results)
+    return results
+
+
+def _feed_observations(tuning: JobTuning, specs: Sequence[Any],
+                       results: Sequence[Any]) -> None:
+    """Collect measured ``(units, seconds)`` pairs for the cost model.
+
+    Results that are not :class:`RankMetrics`-shaped (preprocess parse
+    shards return tuples) are skipped — the model only learns from
+    timed work.
+    """
+    pairs = []
+    for spec, result in zip(specs, results):
+        seconds = getattr(result, "total_seconds", None)
+        if seconds is not None:
+            pairs.append((_cost_hint(spec), float(seconds)))
+    if pairs:
+        tuning.observe(pairs)
 
 
 def _shard_plan(specs: Sequence[Any], shards_per_rank: int,
@@ -158,65 +290,174 @@ def _cost_hint(spec: Any) -> float:
     return float(hint()) if hint is not None else 1.0
 
 
+def _shard_label(path: tuple[int, ...]) -> int | str:
+    """Span/label id of a shard: the plain index for first-wave shards
+    (back-compat with trace consumers), dotted for re-split pieces
+    (``2.1`` = second sub-shard of original shard 2)."""
+    if len(path) == 1:
+        return path[0]
+    return ".".join(str(p) for p in path)
+
+
+def _supports_budget(spec: Any) -> bool:
+    return getattr(spec, "budget_seconds", "absent") != "absent" \
+        and getattr(spec, "split", None) is not None
+
+
+def _with_budget(spec: Any, tuning: JobTuning | None) -> Any:
+    """Price a shard's straggler budget from the cost model.
+
+    Leaves the spec untouched when there is no tuning, the spec cannot
+    yield, or the model is cold (the sequential executor then falls
+    back to sibling-median budgets mid-wave).
+    """
+    if tuning is None or not _supports_budget(spec):
+        return spec
+    budget = tuning.budget_for(_cost_hint(spec))
+    if budget is None:
+        return spec
+    return replace(spec, budget_seconds=budget)
+
+
 def _execute_sharded(task_fn: Callable[[Any], RankMetrics],
                      specs: Sequence[Any], groups: list[list[Any]],
-                     executor: str, tracer: Tracer) -> list[RankMetrics]:
+                     executor: str, tracer: Tracer,
+                     tuning: JobTuning | None = None,
+                     ) -> list[RankMetrics]:
     """Run the over-decomposed schedule and reduce shards per rank.
 
     Shards of all ranks are flattened into one work list and dispatched
     longest-first; the shared pool's workers pull them dynamically, so
     a skewed rank's extra shards land on whichever workers are free.
-    Results come back in flatten order, so the per-rank reduction sees
-    shards in shard order — the ordered reducer that keeps concatenated
-    outputs byte-identical.
+
+    With *tuning*, the schedule runs in waves: budgeted shards that
+    yield a :class:`ShardRemainder` have their tail re-split
+    (``tuning.resplit_factor`` pieces) and re-dispatched in the next
+    wave; after :data:`~repro.runtime.autotune.MAX_RESPLIT_ROUNDS`
+    waves budgets are dropped so the schedule always terminates.  Every
+    piece is keyed by its split path (original shard 2's first tail
+    piece is ``(2, 0)``), and the per-rank reduction sorts pieces by
+    path — the same ordered reducer that keeps concatenated outputs
+    byte-identical regardless of how many times a shard was re-split.
     """
-    entries = [(rank, shard_idx, shard)
-               for rank, group in enumerate(groups)
-               for shard_idx, shard in enumerate(group)]
-    labels = [f"rank {rank} shard {shard_idx}"
-              for rank, shard_idx, _ in entries]
-    costs = [_cost_hint(shard) for _, _, shard in entries]
+    entries: list[tuple[int, tuple[int, ...], Any, bool]] = []
+    for rank, group in enumerate(groups):
+        # A one-piece group's shard IS the rank spec (same out_path), so
+        # it must not yield a tail to merge into itself; budgets apply
+        # only where shard files are distinct from the rank output.
+        budget_ok = len(group) > 1
+        for shard_idx, shard in enumerate(group):
+            entries.append((rank, (shard_idx,),
+                            _with_budget(shard, tuning) if budget_ok
+                            else shard, budget_ok))
     parent_id = None
     if tracer.enabled:
         caller = tracer.current_span()
         parent_id = caller.span_id if caller is not None else None
-    if executor == "simulate":
-        if tracer.enabled:
-            results = [_shard_span_call(task_fn, tracer, rank, shard_idx,
-                                        shard, parent_id)
-                       for rank, shard_idx, shard in entries]
+    pieces: dict[tuple[int, tuple[int, ...]], tuple[Any, Any]] = {}
+    rounds = 0
+    while entries:
+        budgets_live = tuning is not None and rounds < MAX_RESPLIT_ROUNDS
+        results = _dispatch_shards(task_fn, entries, executor, tracer,
+                                   parent_id, tuning, budgets_live)
+        next_entries: list[tuple[int, tuple[int, ...], Any, bool]] = []
+        for (rank, path, spec, _), result in zip(entries, results):
+            if not isinstance(result, ShardRemainder):
+                pieces[(rank, path)] = (spec, result)
+                continue
+            pieces[(rank, path)] = (spec, result.metrics)
+            factor = tuning.resplit_factor if tuning is not None else 2
+            subs = result.tail_spec.split(factor)
+            if tuning is not None:
+                tuning.note_resplit(len(subs))
+            for sub_idx, sub in enumerate(subs):
+                next_entries.append((rank, path + (sub_idx,),
+                                     _with_budget(sub, tuning)
+                                     if budgets_live else sub, True))
+        entries = next_entries
+        rounds += 1
+    out = []
+    for rank, (spec, group) in enumerate(zip(specs, groups)):
+        ordered = sorted((path, piece) for (r, path), piece
+                         in pieces.items() if r == rank)
+        shard_specs = [piece[0] for _, piece in ordered]
+        shard_results = [piece[1] for _, piece in ordered]
+        if len(shard_specs) == 1:
+            out.append(shard_results[0])
         else:
-            results = [task_fn(shard) for _, _, shard in entries]
-    elif tracer.enabled and executor == "thread":
-        payloads = [(task_fn, tracer, rank, shard_idx, shard, parent_id)
-                    for rank, shard_idx, shard in entries]
-        results = get_shared_executor().map_tasks(
+            out.append(spec.merge_shards(shard_specs, shard_results))
+    if tuning is not None:
+        _feed_observations(tuning,
+                           [piece[0] for piece in pieces.values()],
+                           [piece[1] for piece in pieces.values()])
+    return out
+
+
+def _dispatch_shards(task_fn: Callable[[Any], Any],
+                     entries: Sequence[tuple[int, tuple[int, ...], Any,
+                                             bool]],
+                     executor: str, tracer: Tracer,
+                     parent_id: int | None,
+                     tuning: JobTuning | None,
+                     budgets_live: bool) -> list[Any]:
+    """Dispatch one wave of shard entries; results in entry order.
+
+    On the sequential ``simulate`` executor a cold cost model still
+    gets straggler detection: completed siblings' durations price the
+    budget of each not-yet-budgeted shard (k x median), which is the
+    deterministic flavor the tests pin down.  Pool executors apply
+    model budgets at submit time only — their shards run concurrently,
+    so there is no well-defined "completed siblings" set to consult.
+    """
+    labels = [f"rank {rank} shard {_shard_label(path)}"
+              for rank, path, _, _ in entries]
+    costs = [_cost_hint(shard) for _, _, shard, _ in entries]
+    progress = None
+    if tuning is not None:
+        progress = lambda i, result, elapsed: \
+            tuning.note_completion(elapsed)  # noqa: E731
+    if executor == "simulate":
+        results = []
+        durations: list[float] = []
+        wave_start = time.perf_counter()
+        for rank, path, shard, budget_ok in entries:
+            if budgets_live and budget_ok \
+                    and getattr(shard, "budget_seconds", None) is None \
+                    and _supports_budget(shard):
+                budget = tuning.sibling_budget(durations)
+                if budget is not None:
+                    shard = replace(shard, budget_seconds=budget)
+            t0 = time.perf_counter()
+            if tracer.enabled:
+                results.append(_shard_span_call(
+                    task_fn, tracer, rank, _shard_label(path), shard,
+                    parent_id))
+            else:
+                results.append(task_fn(shard))
+            durations.append(time.perf_counter() - t0)
+            if tuning is not None:
+                tuning.note_completion(time.perf_counter() - wave_start)
+        return results
+    if tracer.enabled and executor == "thread":
+        payloads = [(task_fn, tracer, rank, _shard_label(path), shard,
+                     parent_id) for rank, path, shard, _ in entries]
+        return get_shared_executor().map_tasks(
             _shard_span_entry, payloads, "thread",
-            labels=labels, costs=costs)
-    elif tracer.enabled:
-        payloads = [(task_fn, tracer.epoch, rank, shard_idx, shard)
-                    for rank, shard_idx, shard in entries]
+            labels=labels, costs=costs, progress=progress)
+    if tracer.enabled:
+        payloads = [(task_fn, tracer.epoch, rank, _shard_label(path),
+                     shard) for rank, path, shard, _ in entries]
         gathered = get_shared_executor().map_tasks(
             _traced_process_shard, payloads, "process",
-            labels=labels, costs=costs)
+            labels=labels, costs=costs, progress=progress)
         results = []
         for result, span_dicts, rank in gathered:
             tracer.ingest(span_dicts, rank=rank, parent_id=parent_id)
             results.append(result)
-    else:
-        results = get_shared_executor().map_tasks(
-            task_fn, [shard for _, _, shard in entries], executor,
-            labels=labels, costs=costs)
-    by_rank: list[list[Any]] = [[] for _ in specs]
-    for (rank, _, _), result in zip(entries, results):
-        by_rank[rank].append(result)
-    out = []
-    for spec, group, shard_results in zip(specs, groups, by_rank):
-        if len(group) == 1:
-            out.append(shard_results[0])
-        else:
-            out.append(spec.merge_shards(group, shard_results))
-    return out
+        return results
+    return get_shared_executor().map_tasks(
+        task_fn, [shard for _, _, shard, _ in entries], executor,
+        labels=labels, costs=costs, progress=progress)
 
 
 def merge_shard_outputs(out_path: str, shard_specs: Sequence[Any],
@@ -259,7 +500,7 @@ def _rank_span_entry(payload: tuple) -> RankMetrics:
 
 
 def _shard_span_call(task_fn: Callable[[Any], RankMetrics],
-                     tracer: Tracer, rank: int, shard_idx: int,
+                     tracer: Tracer, rank: int, shard_idx: int | str,
                      spec: Any, parent_id: int | None) -> Any:
     """Run one shard task under a rank/shard-tagged span of *tracer*."""
     with tracer.activate(), tracer.rank_context(rank), \

@@ -19,13 +19,16 @@ from ..formats import batch as batch_codec
 from ..formats.batch import DEFAULT_BATCH_SIZE, PIPELINES
 from ..formats.header import SamHeader
 from ..formats.sam import parse_alignment
+from ..runtime import faults
+from ..runtime.autotune import AutoTuner
 from ..runtime.buffers import BufferedTextWriter, RangeLineReader
 from ..runtime.metrics import RankMetrics
 from ..runtime.partition import Partition, partition_bytes_source
 from ..runtime.tracing import get_tracer
-from .base import ConversionResult, bind_target, emit_records, \
-    execute_rank_tasks, finish_rank_metrics, make_output_path, \
-    merge_shard_outputs
+from .base import ConversionResult, ShardRemainder, bind_target, \
+    emit_records, ensure_tuner, execute_rank_tasks, \
+    finish_rank_metrics, make_output_path, merge_shard_outputs, \
+    record_tuning, resolve_tuning, validate_knob
 from .filters import ACCEPT_ALL, RecordFilter
 from .targets import get_target
 
@@ -74,6 +77,11 @@ class SamRankSpec:
     batch_size: int = DEFAULT_BATCH_SIZE
     pipeline: str = "batch"
     write_header: bool = True
+    #: Straggler budget: a batched task over this many seconds stops at
+    #: the next batch boundary and yields its remaining range as a
+    #: :class:`~repro.core.base.ShardRemainder` for re-splitting.
+    #: ``None`` (default) never yields.
+    budget_seconds: float | None = None
 
     def cost_hint(self) -> float:
         """Relative shard size: bytes of SAM text to parse."""
@@ -100,11 +108,13 @@ class SamRankSpec:
         parts = [p for p in parts if p.length > 0]
         if len(parts) <= 1:
             return [self]
+        # A tail re-split must not resurrect the header: shard 0 of a
+        # headerless spec (a straggler's remainder) stays headerless.
         return [replace(self,
                         start=self.start + p.start,
                         end=self.start + p.end,
                         out_path=f"{self.out_path}.shard{i:02d}",
-                        write_header=(i == 0))
+                        write_header=(i == 0 and self.write_header))
                 for i, p in enumerate(parts)]
 
     def merge_shards(self, shard_specs: "list[SamRankSpec]",
@@ -114,8 +124,14 @@ class SamRankSpec:
                                    shard_results)
 
 
-def _sam_rank_task(spec: SamRankSpec) -> RankMetrics:
-    """One rank of the SAM converter: read range -> parse -> emit."""
+def _sam_rank_task(spec: SamRankSpec) \
+        -> RankMetrics | ShardRemainder:
+    """One rank of the SAM converter: read range -> parse -> emit.
+
+    Only the batched text pipeline honors ``budget_seconds`` (its batch
+    boundaries are the natural yield points); the record pipeline and
+    binary targets always run to completion.
+    """
     t0 = time.perf_counter()
     metrics = RankMetrics()
     header = SamHeader.from_text(spec.header_text)
@@ -140,7 +156,11 @@ def _sam_rank_task(spec: SamRankSpec) -> RankMetrics:
         metrics.emitted += emitted
         metrics.bytes_written += os.path.getsize(spec.out_path)
     elif spec.pipeline == "batch":
-        _sam_rank_batched(spec, reader, target, header, metrics)
+        tail = _sam_rank_batched(spec, reader, target, header, metrics,
+                                 t0)
+        if tail is not None:
+            return ShardRemainder(finish_rank_metrics(metrics, t0),
+                                  tail)
     else:
         with BufferedTextWriter(spec.out_path, metrics=metrics) as writer:
             head = target.file_header(header)
@@ -151,12 +171,28 @@ def _sam_rank_task(spec: SamRankSpec) -> RankMetrics:
 
 
 def _sam_rank_batched(spec: SamRankSpec, reader: RangeLineReader, target,
-                      header: SamHeader, metrics: RankMetrics) -> None:
+                      header: SamHeader, metrics: RankMetrics,
+                      t_start: float) -> SamRankSpec | None:
     """Batched text pipeline: chunk split -> column fastpath -> joined
-    writes.  Output is byte-identical to the per-record path."""
+    writes.  Output is byte-identical to the per-record path.
+
+    Straggler cooperation: with ``spec.budget_seconds`` set, elapsed
+    time is checked after every batch; once over budget the task stops
+    at the batch boundary (everything written so far is a valid
+    prefix) and returns the spec of its *remaining* byte range — a
+    headerless, un-budgeted sibling writing ``<out_path>.tail`` — for
+    the scheduler to re-split.  Consumed bytes are exact: every line
+    the reader yields cost ``len(line) + 1`` (the stripped newline),
+    and the only line without one is the file's last, in which case
+    the resume offset lands at/past ``end`` and the task is complete.
+    """
     fast_emit = batch_codec.sam_fastpath_for(target)
     tracer = get_tracer()
     seen = emitted = fallbacks = batches = 0
+    consumed = 0
+    deadline = None if spec.budget_seconds is None \
+        else t_start + spec.budget_seconds
+    tail: SamRankSpec | None = None
     with tracer.span("batch.pipeline", "sam",
                      args={"batch_size": spec.batch_size,
                            "fastpath": fast_emit is not None,
@@ -166,6 +202,7 @@ def _sam_rank_batched(spec: SamRankSpec, reader: RangeLineReader, target,
         if head and spec.write_header:
             writer.write_text(head)
         for lines in reader.iter_batches(spec.batch_size):
+            faults.fire("shard.batch")
             out_lines: list[str] = []
             if fast_emit is not None:
                 s, e, f = batch_codec.convert_sam_lines(
@@ -181,12 +218,26 @@ def _sam_rank_batched(spec: SamRankSpec, reader: RangeLineReader, target,
             emitted += e
             fallbacks += f
             batches += 1
+            consumed += sum(len(line) for line in lines) + len(lines)
+            if deadline is not None \
+                    and time.perf_counter() > deadline:
+                resume = spec.start + consumed
+                if resume < spec.end:
+                    tail = replace(spec, start=resume,
+                                   out_path=spec.out_path + ".tail",
+                                   write_header=False,
+                                   budget_seconds=None)
+                    break
         if span is not None:
             span.args.update(batches=batches, records=seen,
                              fallbacks=fallbacks)
+            if tail is not None:
+                span.args.update(yielded=True,
+                                 resume_offset=tail.start)
     metrics.records += seen
     metrics.emitted += emitted
     metrics.fallbacks += fallbacks
+    return tail
 
 
 class SamConverter:
@@ -205,27 +256,32 @@ class SamConverter:
     shards_per_rank:
         Over-decomposition factor: each rank's range is split into up
         to this many shards pulled dynamically by the shared worker
-        pool.  ``1`` (default) is the paper-faithful static schedule.
+        pool.  ``1`` (default) is the paper-faithful static schedule;
+        ``"auto"`` lets the cost model pick per job.
+    tuner:
+        :class:`~repro.runtime.autotune.AutoTuner` resolving ``"auto"``
+        knobs, pricing straggler budgets, and learning from every run.
+        When omitted and a knob is ``"auto"``, a private in-memory
+        tuner is created (cold -> defaults, warming across this
+        instance's calls).
     """
 
     def __init__(self, read_chunk: int = 4 << 20,
-                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 batch_size: int | str = DEFAULT_BATCH_SIZE,
                  pipeline: str = "batch",
-                 shards_per_rank: int = 1) -> None:
+                 shards_per_rank: int | str = 1,
+                 tuner: AutoTuner | None = None) -> None:
         if pipeline not in PIPELINES:
             raise ConversionError(
                 f"unknown pipeline {pipeline!r}; choose one of "
                 f"{PIPELINES}")
-        if batch_size < 1:
-            raise ConversionError(
-                f"batch_size {batch_size} must be >= 1")
-        if shards_per_rank < 1:
-            raise ConversionError(
-                f"shards_per_rank {shards_per_rank} must be >= 1")
         self.read_chunk = read_chunk
-        self.batch_size = batch_size
+        self.batch_size = validate_knob(batch_size, "batch_size")
         self.pipeline = pipeline
-        self.shards_per_rank = shards_per_rank
+        self.shards_per_rank = validate_knob(shards_per_rank,
+                                             "shards_per_rank")
+        self.tuner = ensure_tuner(tuner, self.shards_per_rank,
+                                  self.batch_size)
 
     def convert(self, sam_path: str | os.PathLike[str], target: str,
                 out_dir: str | os.PathLike[str], nprocs: int = 1,
@@ -256,6 +312,13 @@ class SamConverter:
                                                   header_end)
             target_plugin = get_target(target)  # validates the name early
             stem = os.path.splitext(os.path.basename(sam_path))[0]
+            shards, batch_size, tuning = resolve_tuning(
+                self.tuner, target=target, store_format="sam",
+                pipeline=self.pipeline,
+                total_units=os.path.getsize(sam_path) - header_end,
+                nprocs=nprocs, shards=self.shards_per_rank,
+                batch_size=self.batch_size,
+                default_batch=DEFAULT_BATCH_SIZE)
             specs = [
                 SamRankSpec(
                     sam_path=sam_path,
@@ -267,14 +330,15 @@ class SamConverter:
                     header_text=header.to_text(),
                     read_chunk=self.read_chunk,
                     record_filter=record_filter or ACCEPT_ALL,
-                    batch_size=self.batch_size,
+                    batch_size=batch_size,
                     pipeline=self.pipeline,
                 )
                 for p in partitions
             ]
             rank_metrics = execute_rank_tasks(
                 _sam_rank_task, specs, executor,
-                shards_per_rank=self.shards_per_rank)
+                shards_per_rank=shards, tuning=tuning)
+            record_tuning(tracer, tuning)
         result = ConversionResult(
             target=target,
             outputs=[s.out_path for s in specs],

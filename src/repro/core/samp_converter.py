@@ -23,12 +23,13 @@ from ..formats.baix import BaixIndex, default_index_path
 from ..formats.bamx import BamxWriter, plan_layout
 from ..formats.batch import DEFAULT_BATCH_SIZE, parse_sam_lines
 from ..formats.header import SamHeader
+from ..runtime.autotune import AutoTuner
 from ..runtime.buffers import RangeLineReader
 from ..runtime.metrics import RankMetrics
 from ..runtime.partition import partition_bytes_source
 from ..runtime.tracing import get_tracer
-from .base import ConversionResult, execute_rank_tasks, \
-    finish_rank_metrics
+from .base import ConversionResult, ensure_tuner, execute_rank_tasks, \
+    finish_rank_metrics, record_tuning, resolve_tuning, validate_knob
 from .bam_converter import BamConverter
 from .sam_converter import partition_alignments, scan_header
 
@@ -167,23 +168,24 @@ class PreprocSamConverter:
     """SAM -> * converter with a *parallel* BAMX preprocessing phase."""
 
     def __init__(self, read_chunk: int = 4 << 20,
-                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 batch_size: int | str = DEFAULT_BATCH_SIZE,
                  pipeline: str = "batch",
-                 shards_per_rank: int = 1,
-                 store_format: str = "bamx") -> None:
+                 shards_per_rank: int | str = 1,
+                 store_format: str = "bamx",
+                 tuner: AutoTuner | None = None) -> None:
         from ..formats.store import STORE_FORMATS
-        if shards_per_rank < 1:
-            raise ConversionError(
-                f"shards_per_rank {shards_per_rank} must be >= 1")
         if store_format not in STORE_FORMATS:
             raise ConversionError(
                 f"unknown store format {store_format!r}; choose one of "
                 f"{STORE_FORMATS}")
         self.read_chunk = read_chunk
-        self.batch_size = batch_size
+        self.batch_size = validate_knob(batch_size, "batch_size")
         self.pipeline = pipeline
-        self.shards_per_rank = shards_per_rank
+        self.shards_per_rank = validate_knob(shards_per_rank,
+                                             "shards_per_rank")
         self.store_format = store_format
+        self.tuner = ensure_tuner(tuner, self.shards_per_rank,
+                                  self.batch_size)
 
     def preprocess(self, sam_path: str | os.PathLike[str],
                    work_dir: str | os.PathLike[str], nprocs: int = 1,
@@ -208,6 +210,13 @@ class PreprocSamConverter:
                                                   header_end)
             stem = os.path.splitext(os.path.basename(sam_path))[0]
             ext = ".bamc" if self.store_format == "bamc" else ".bamx"
+            shards, batch_size, tuning = resolve_tuning(
+                self.tuner, target="preprocess",
+                store_format=self.store_format, pipeline="parse",
+                total_units=os.path.getsize(sam_path) - header_end,
+                nprocs=nprocs, shards=self.shards_per_rank,
+                batch_size=self.batch_size,
+                default_batch=DEFAULT_BATCH_SIZE)
             specs = [
                 PreprocessSpec(
                     sam_path=sam_path,
@@ -217,14 +226,15 @@ class PreprocSamConverter:
                         work_dir, f"{stem}.part{p.rank:04d}{ext}"),
                     header_text=header.to_text(),
                     read_chunk=self.read_chunk,
-                    batch_size=self.batch_size,
+                    batch_size=batch_size,
                     store_format=self.store_format,
                 )
                 for p in partitions
             ]
             metrics = execute_rank_tasks(
                 _preprocess_rank_task, specs, executor,
-                shards_per_rank=self.shards_per_rank)
+                shards_per_rank=shards, tuning=tuning)
+            record_tuning(tracer, tuning)
         return [s.bamx_path for s in specs], metrics
 
     def convert(self, bamx_paths: list[str], target: str,
@@ -244,7 +254,8 @@ class PreprocSamConverter:
         bam_converter = BamConverter(batch_size=self.batch_size,
                                      pipeline=self.pipeline,
                                      shards_per_rank=self.shards_per_rank,
-                                     store_format=self.store_format)
+                                     store_format=self.store_format,
+                                     tuner=self.tuner)
         outputs: list[str] = []
         # Rank r's total work is the sum of its share of every BAMX file,
         # matching the paper's one-file-at-a-time schedule.

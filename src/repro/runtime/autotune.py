@@ -1,0 +1,621 @@
+"""Self-tuning scheduler: the persistent cost model behind ``--shards
+auto`` and mid-job straggler re-splitting.
+
+The repo has had every ingredient of adaptive scheduling except the
+feedback loop: span tracing measures per-shard durations,
+:func:`~repro.runtime.executor.simulate_schedule` models LPT makespans,
+and ``--shards``/``--batch-size`` are hand-tuned knobs.  This module
+closes the loop:
+
+* :class:`CostModel` — a small persistent profile of *observed*
+  conversion cost, keyed by ``(target, store format, pipeline,
+  input-size bucket)``.  Every observation folds into per-key EWMA
+  statistics (mean seconds-per-unit, hottest shard's rate, the unit
+  fraction carried by hot shards, per-batch-size rates), so the file
+  stays a few KiB no matter how many jobs feed it.  Updates are atomic
+  (tmp + ``os.replace``) and the key count is bounded (oldest keys
+  evicted), so a crash mid-save or years of use cannot corrupt or
+  bloat it.
+
+* :class:`AutoTuner` — turns the model into decisions.
+  :meth:`AutoTuner.begin_job` resolves ``"auto"`` knobs: it rebuilds
+  the learned two-class cost distribution for every candidate
+  ``shards_per_rank`` and asks :func:`simulate_schedule` which split
+  has the best predicted makespan (a cold model falls back to the
+  converter defaults, so un-profiled workloads never regress).  The
+  returned :class:`JobTuning` also prices each shard so the executor
+  layer can detect *stragglers* — a shard whose observed elapsed time
+  exceeds ``straggler_factor`` x the model's prediction (or, on the
+  sequential executor, x the median of completed siblings) is asked to
+  yield its remaining byte range, which is re-split through the
+  existing ``split``/``merge_shards`` reducer path.  Outputs stay
+  byte-identical; only the schedule changes.
+
+The service shares one tuner (and one model file) across all jobs and
+mirrors its activity as ``autotune_*`` counters; the CLI builds a tuner
+per command from ``--cost-model``/``REPRO_COST_MODEL``.  Every auto
+decision is recorded as a ``cost_model`` provenance block on an
+``autotune`` span inside the job's trace, so ``repro status --trace
+JOB`` explains what was chosen and why.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import statistics
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import RuntimeLayerError
+from .executor import default_worker_count, simulate_schedule
+
+__all__ = [
+    "CostModel", "AutoTuner", "JobTuning", "make_key", "size_bucket",
+    "resolve_model_path", "AUTO", "DEFAULT_ALPHA", "DEFAULT_MAX_KEYS",
+    "SHARD_CANDIDATES", "SHARD_OVERHEAD_SECONDS",
+    "DEFAULT_STRAGGLER_FACTOR", "MIN_STRAGGLER_BUDGET",
+]
+
+#: The sentinel value of an auto-tuned knob (``--shards auto``).
+AUTO = "auto"
+
+#: EWMA weight of the newest observation.
+DEFAULT_ALPHA = 0.3
+
+#: Keys kept in the model file; the least recently updated are evicted.
+DEFAULT_MAX_KEYS = 128
+
+#: ``shards_per_rank`` values the tuner evaluates.
+SHARD_CANDIDATES = (1, 2, 4, 8, 16, 32)
+
+#: Modeled fixed cost of dispatching one shard on the shared pool
+#: (submit + pickle + span bookkeeping).  This is what stops the
+#: predicted makespan from improving forever as shards shrink.
+SHARD_OVERHEAD_SECONDS = 1e-3
+
+#: A shard is a straggler once its elapsed time exceeds this factor
+#: times the model's prediction (or the median of completed siblings).
+DEFAULT_STRAGGLER_FACTOR = 4.0
+
+#: Floor under straggler budgets so sub-millisecond predictions cannot
+#: make every shard "late" and thrash the re-split path.
+MIN_STRAGGLER_BUDGET = 0.05
+
+#: Re-split fan-out: a straggler's remaining range splits into up to
+#: this many sub-shards.
+DEFAULT_RESPLIT_FACTOR = 4
+
+#: Re-split waves per job; the final wave runs un-budgeted so a job
+#: always terminates even when every shard keeps missing its budget.
+MAX_RESPLIT_ROUNDS = 2
+
+#: Environment variable naming the default cost-model file.
+MODEL_PATH_ENV = "REPRO_COST_MODEL"
+
+
+def resolve_model_path(explicit: str | os.PathLike[str] | None = None,
+                       ) -> str:
+    """The cost-model file a CLI command should use.
+
+    Preference order: explicit ``--cost-model`` argument, the
+    ``REPRO_COST_MODEL`` environment variable, then the per-user
+    default under ``~/.cache/repro/``.
+    """
+    if explicit is not None:
+        return os.fspath(explicit)
+    env = os.environ.get(MODEL_PATH_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro",
+                        "cost-model.json")
+
+
+def size_bucket(units: float) -> int:
+    """Bucket an input size into power-of-4 classes.
+
+    Jobs whose total cost units (bytes for SAM text, records for BAMX
+    stores) are within a factor of 4 share one bucket, so one profile
+    key covers re-runs of similar inputs without conflating a 10 KiB
+    smoke file with a 10 GiB production input.
+    """
+    if units <= 1:
+        return 0
+    return int(math.log(units, 4))
+
+
+def make_key(target: str, store_format: str, pipeline: str,
+             units: float) -> str:
+    """The model key of one workload class."""
+    return f"{target}|{store_format}|{pipeline}|b{size_bucket(units)}"
+
+
+def _split_key(key: str) -> tuple[str, str, str, int]:
+    target, store, pipeline, bucket = key.split("|")
+    return target, store, pipeline, int(bucket[1:])
+
+
+class CostModel:
+    """Persistent EWMA profile of observed per-unit conversion cost.
+
+    Parameters
+    ----------
+    path:
+        JSON file holding the profile; ``None`` keeps the model
+        in-memory only (used by converters that auto-create a private
+        tuner).  An existing file is loaded eagerly; a corrupt file is
+        treated as empty and remembered in :attr:`load_error` rather
+        than raised — a damaged profile must never break a conversion.
+    alpha:
+        EWMA weight of the newest observation (0 < alpha <= 1).
+    max_keys:
+        Bounded-history cap: beyond it, the least recently updated
+        keys are evicted on save.
+
+    Per key the model stores:
+
+    ``rate``
+        EWMA of mean seconds per cost unit (the job's total wall over
+        its total units).
+    ``rate_max``
+        EWMA of the *hottest* shard's seconds per unit — how expensive
+        the densest region of this workload class is.
+    ``hot_frac``
+        EWMA of the fraction of units carried by above-average-rate
+        shards.  ``rate``/``rate_max``/``hot_frac`` together describe a
+        two-class cost distribution the tuner can re-simulate at any
+        candidate shard count.
+    ``batches``
+        Mean rate per observed ``batch_size``, for ``--batch-size
+        auto``.
+    """
+
+    def __init__(self, path: str | os.PathLike[str] | None = None,
+                 alpha: float = DEFAULT_ALPHA,
+                 max_keys: int = DEFAULT_MAX_KEYS) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise RuntimeLayerError(
+                f"alpha {alpha} must be in (0, 1]")
+        if max_keys < 1:
+            raise RuntimeLayerError(
+                f"max_keys {max_keys} must be >= 1")
+        self.path = None if path is None else os.fspath(path)
+        self.alpha = alpha
+        self.max_keys = max_keys
+        self.load_error: str | None = None
+        self._lock = threading.Lock()
+        self._keys: dict[str, dict[str, Any]] = {}
+        self._clock = 0
+        if self.path is not None:
+            self._load()
+
+    # -- persistence -------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            keys = doc["keys"]
+            if not isinstance(keys, dict):
+                raise ValueError("'keys' is not an object")
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.load_error = f"{type(exc).__name__}: {exc}"
+            return
+        with self._lock:
+            self._keys = {str(k): dict(v) for k, v in keys.items()}
+            self._clock = max(
+                (int(e.get("updated", 0)) for e in self._keys.values()),
+                default=0)
+
+    def save(self) -> None:
+        """Atomically persist the profile (no-op for in-memory models).
+
+        The document is written to ``<path>.tmp`` and moved into place
+        with ``os.replace``, so readers never see a torn file.
+        """
+        if self.path is None:
+            return
+        with self._lock:
+            self._evict_locked()
+            doc = {
+                "version": 1,
+                "alpha": self.alpha,
+                "keys": {k: dict(v) for k, v in self._keys.items()},
+            }
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    def reset(self) -> None:
+        """Forget every key and remove the model file."""
+        with self._lock:
+            self._keys.clear()
+            self._clock = 0
+        if self.path is not None:
+            try:
+                os.remove(self.path)
+            except FileNotFoundError:
+                pass
+
+    def _evict_locked(self) -> None:
+        if len(self._keys) <= self.max_keys:
+            return
+        ordered = sorted(self._keys,
+                         key=lambda k: self._keys[k].get("updated", 0))
+        for key in ordered[:len(self._keys) - self.max_keys]:
+            del self._keys[key]
+
+    # -- observation -------------------------------------------------
+
+    def observe(self, key: str, pairs: list[tuple[float, float]],
+                batch_size: int | None = None) -> None:
+        """Fold one job's per-shard ``(units, seconds)`` pairs into the
+        key's EWMA statistics.
+
+        *pairs* come from real executions — per-rank on the static
+        schedule, per-shard on the dynamic one — so the model learns
+        from every run, not only from tuned ones.
+        """
+        pairs = [(float(u), float(s)) for u, s in pairs if u > 0]
+        if not pairs:
+            return
+        total_units = sum(u for u, _ in pairs)
+        total_seconds = sum(s for _, s in pairs)
+        rate = total_seconds / total_units
+        rates = [s / u for u, s in pairs]
+        rate_max = max(rates)
+        hot_units = sum(u for (u, _), r in zip(pairs, rates) if r > rate)
+        hot_frac = hot_units / total_units
+        with self._lock:
+            self._clock += 1
+            entry = self._keys.get(key)
+            if entry is None:
+                entry = self._keys[key] = {
+                    "rate": rate, "rate_max": rate_max,
+                    "hot_frac": hot_frac, "count": 0, "batches": {},
+                }
+            a = self.alpha
+            entry["rate"] = (1 - a) * entry["rate"] + a * rate
+            entry["rate_max"] = (1 - a) * entry["rate_max"] + a * rate_max
+            entry["hot_frac"] = (1 - a) * entry["hot_frac"] + a * hot_frac
+            entry["count"] = int(entry.get("count", 0)) + 1
+            entry["updated"] = self._clock
+            if batch_size is not None:
+                batches = entry.setdefault("batches", {})
+                prev = batches.get(str(int(batch_size)))
+                batches[str(int(batch_size))] = rate if prev is None \
+                    else (1 - a) * prev + a * rate
+            self._evict_locked()
+
+    # -- lookup ------------------------------------------------------
+
+    def lookup(self, key: str) -> dict[str, Any] | None:
+        """The key's statistics, or ``None`` when cold."""
+        with self._lock:
+            entry = self._keys.get(key)
+            return dict(entry) if entry is not None else None
+
+    def nearest(self, key: str) -> dict[str, Any] | None:
+        """A neighbouring size bucket's statistics (same target, store
+        and pipeline, bucket off by one) — per-unit rates transfer well
+        across a factor-of-4 size difference, so a near miss still
+        beats flying blind."""
+        target, store, pipeline, bucket = _split_key(key)
+        with self._lock:
+            for delta in (-1, 1):
+                candidate = f"{target}|{store}|{pipeline}|b{bucket + delta}"
+                entry = self._keys.get(candidate)
+                if entry is not None:
+                    return dict(entry)
+        return None
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Every key's statistics (for ``repro tune show`` and tests)."""
+        with self._lock:
+            return {k: dict(v) for k, v in self._keys.items()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)
+
+
+def _candidate_costs(entry: dict[str, Any], total_units: float,
+                     tasks: int) -> list[float]:
+    """Per-task cost list of the learned two-class distribution.
+
+    ``hot_frac`` of the units cost ``rate_max`` seconds each; the rest
+    cost whatever keeps the total at ``rate * total_units``.  This is
+    the coarsest distribution consistent with the EWMA statistics —
+    enough to make skew visible to :func:`simulate_schedule` without
+    storing per-shard history.
+    """
+    rate = float(entry["rate"])
+    rate_max = max(float(entry["rate_max"]), rate)
+    hot_frac = min(max(float(entry["hot_frac"]), 0.0), 1.0)
+    unit = total_units / tasks
+    n_hot = min(tasks, round(hot_frac * tasks))
+    if 0 < n_hot < tasks:
+        cold_total = rate * total_units - rate_max * n_hot * unit
+        rate_cold = max(cold_total / ((tasks - n_hot) * unit), 0.0)
+    else:
+        n_hot = 0
+        rate_cold = rate
+    costs = [rate_max * unit + SHARD_OVERHEAD_SECONDS] * n_hot
+    costs += [rate_cold * unit + SHARD_OVERHEAD_SECONDS] \
+        * (tasks - n_hot)
+    return costs
+
+
+@dataclass(slots=True)
+class TuneDecision:
+    """What the tuner chose for one job, and why."""
+
+    key: str
+    shards_per_rank: int
+    batch_size: int
+    hit: bool                      #: exact model key was warm
+    borrowed: bool = False         #: a neighbour bucket supplied stats
+    auto_shards: bool = False
+    auto_batch: bool = False
+    predicted_makespan: float | None = None
+    predicted_static: float | None = None
+    workers: int = 1
+
+
+class AutoTuner:
+    """Turns :class:`CostModel` statistics into scheduling decisions.
+
+    Parameters
+    ----------
+    model:
+        The cost model consulted and updated by every job.
+    metrics:
+        Optional :class:`~repro.runtime.metrics.ServiceMetrics`; when
+        given (the service), decisions and re-splits are mirrored as
+        ``autotune_*`` counters and gauges.
+    workers:
+        Worker count the candidate makespans are modeled over;
+        defaults to the shared executor's cap.
+    shard_candidates:
+        ``shards_per_rank`` values evaluated for ``--shards auto``.
+    straggler_factor:
+        ``k`` in the straggler predicate ``elapsed > k x expected``.
+    budget_override:
+        Fixed straggler budget in seconds, bypassing the model —
+        deterministic-test hook.
+    resplit_factor:
+        Sub-shards a straggler's remaining range is split into.
+    """
+
+    def __init__(self, model: CostModel,
+                 metrics: Any | None = None,
+                 workers: int | None = None,
+                 shard_candidates: tuple[int, ...] = SHARD_CANDIDATES,
+                 straggler_factor: float = DEFAULT_STRAGGLER_FACTOR,
+                 budget_override: float | None = None,
+                 resplit_factor: int = DEFAULT_RESPLIT_FACTOR) -> None:
+        if straggler_factor <= 1.0:
+            raise RuntimeLayerError(
+                f"straggler_factor {straggler_factor} must be > 1")
+        if resplit_factor < 2:
+            raise RuntimeLayerError(
+                f"resplit_factor {resplit_factor} must be >= 2")
+        self.model = model
+        self.metrics = metrics
+        self.workers = default_worker_count() if workers is None \
+            else workers
+        self.shard_candidates = tuple(sorted(set(shard_candidates)))
+        self.straggler_factor = straggler_factor
+        self.budget_override = budget_override
+        self.resplit_factor = resplit_factor
+
+    # -- decisions ---------------------------------------------------
+
+    def begin_job(self, target: str, store_format: str, pipeline: str,
+                  total_units: float, nprocs: int,
+                  shards: int | str = 1,
+                  batch_size: int | str = 0,
+                  default_batch: int | None = None) -> "JobTuning":
+        """Resolve a job's knobs and return its :class:`JobTuning`.
+
+        ``shards``/``batch_size`` may be concrete values (kept as-is;
+        the tuner still prices shards and records observations) or
+        :data:`AUTO`.  *default_batch* is the fallback for a cold
+        ``batch_size auto`` (the converter's default).
+        """
+        if default_batch is None:
+            from ..formats.batch import DEFAULT_BATCH_SIZE
+            default_batch = DEFAULT_BATCH_SIZE
+        key = make_key(target, store_format, pipeline, total_units)
+        entry = self.model.lookup(key)
+        hit = entry is not None
+        borrowed = False
+        if entry is None:
+            entry = self.model.nearest(key)
+            borrowed = entry is not None
+        decision = TuneDecision(
+            key=key,
+            shards_per_rank=1 if shards == AUTO else int(shards),
+            batch_size=default_batch if batch_size == AUTO
+            else int(batch_size),
+            hit=hit, borrowed=borrowed,
+            auto_shards=shards == AUTO, auto_batch=batch_size == AUTO,
+            workers=self.workers)
+        if entry is not None:
+            static = simulate_schedule(
+                _candidate_costs(entry, total_units, nprocs),
+                self.workers)
+            decision.predicted_static = static
+            if shards == AUTO:
+                decision.shards_per_rank, decision.predicted_makespan = \
+                    self._choose_shards(entry, total_units, nprocs)
+            if batch_size == AUTO:
+                decision.batch_size = self._choose_batch(
+                    entry, default_batch)
+        if self.metrics is not None:
+            self.metrics.inc("autotune_jobs")
+            self.metrics.inc("autotune_model_hits" if hit
+                             else "autotune_model_misses")
+            if decision.auto_shards or decision.auto_batch:
+                self.metrics.inc("autotune_auto_jobs")
+        return JobTuning(self, decision, entry, total_units)
+
+    def _choose_shards(self, entry: dict[str, Any], total_units: float,
+                       nprocs: int) -> tuple[int, float]:
+        """The candidate whose simulated LPT makespan is (near-)best.
+
+        Among candidates within 5% of the minimum the *smallest* wins —
+        extra decomposition that buys nothing just costs dispatch
+        overhead and trace noise.
+        """
+        makespans: dict[int, float] = {}
+        for n in self.shard_candidates:
+            costs = _candidate_costs(entry, total_units, nprocs * n)
+            makespans[n] = simulate_schedule(costs, self.workers)
+        best = min(makespans.values())
+        for n in self.shard_candidates:
+            if makespans[n] <= best * 1.05:
+                return n, makespans[n]
+        return 1, makespans[1]
+
+    @staticmethod
+    def _choose_batch(entry: dict[str, Any], default_batch: int) -> int:
+        batches = entry.get("batches") or {}
+        rated = [(rate, int(size)) for size, rate in batches.items()]
+        if not rated:
+            return default_batch
+        return min(rated)[1]
+
+    # -- straggler pricing -------------------------------------------
+
+    def shard_budget(self, entry: dict[str, Any] | None,
+                     units: float) -> float | None:
+        """Seconds a shard of *units* may run before it is a straggler.
+
+        ``None`` (cold model, no override) defers to the sibling-median
+        fallback where the executor supports it.
+        """
+        if self.budget_override is not None:
+            return self.budget_override
+        if entry is None:
+            return None
+        predicted = float(entry["rate_max"]) * units \
+            + SHARD_OVERHEAD_SECONDS
+        return max(self.straggler_factor * predicted,
+                   MIN_STRAGGLER_BUDGET)
+
+    def sibling_budget(self, completed: list[float]) -> float | None:
+        """Straggler budget from completed siblings' durations
+        (sequential-executor fallback for a cold model)."""
+        if self.budget_override is not None:
+            return self.budget_override
+        if not completed:
+            return None
+        return max(self.straggler_factor * statistics.median(completed),
+                   MIN_STRAGGLER_BUDGET)
+
+
+@dataclass(slots=True)
+class JobTuning:
+    """One job's resolved knobs, straggler pricing, and feedback sink.
+
+    Converters create this via :meth:`AutoTuner.begin_job`, build their
+    specs with :attr:`shards_per_rank`/:attr:`batch_size`, pass it to
+    ``execute_rank_tasks``, and call :meth:`finish` when done.
+    """
+
+    tuner: AutoTuner
+    decision: TuneDecision
+    entry: dict[str, Any] | None
+    total_units: float
+    resplits: int = 0
+    resplit_shards: int = 0
+    observed: list[tuple[float, float]] = field(default_factory=list)
+    observed_makespan: float = 0.0
+
+    @property
+    def shards_per_rank(self) -> int:
+        """The resolved over-decomposition factor."""
+        return self.decision.shards_per_rank
+
+    @property
+    def batch_size(self) -> int:
+        """The resolved batch size."""
+        return self.decision.batch_size
+
+    @property
+    def resplit_factor(self) -> int:
+        """Sub-shards a straggler's remainder splits into."""
+        return self.tuner.resplit_factor
+
+    def budget_for(self, units: float) -> float | None:
+        """Model-predicted straggler budget for a shard of *units*."""
+        return self.tuner.shard_budget(self.entry, units)
+
+    def sibling_budget(self, completed: list[float]) -> float | None:
+        """Sibling-median straggler budget (see :class:`AutoTuner`)."""
+        return self.tuner.sibling_budget(completed)
+
+    def note_resplit(self, sub_shards: int) -> None:
+        """Count one straggler re-split producing *sub_shards* pieces."""
+        self.resplits += 1
+        self.resplit_shards += sub_shards
+        if self.tuner.metrics is not None:
+            self.tuner.metrics.inc("autotune_resplits")
+
+    def note_completion(self, elapsed: float) -> None:
+        """Record one shard's completion time since dispatch started."""
+        if elapsed > self.observed_makespan:
+            self.observed_makespan = elapsed
+
+    def observe(self, pairs: list[tuple[float, float]]) -> None:
+        """Collect measured ``(units, seconds)`` pairs for the model."""
+        self.observed.extend(pairs)
+
+    def finish(self) -> None:
+        """Fold the job's observations into the model and persist it."""
+        if self.observed:
+            self.tuner.model.observe(self.decision.key, self.observed,
+                                     batch_size=self.decision.batch_size)
+            self.observed.clear()
+            try:
+                self.tuner.model.save()
+            except OSError:
+                # A read-only or vanished model directory must not
+                # fail the conversion that produced correct output.
+                pass
+        if self.tuner.metrics is not None:
+            self.tuner.metrics.set_gauge("autotune_model_keys",
+                                         len(self.tuner.model))
+
+    def provenance(self) -> dict[str, Any]:
+        """The ``cost_model`` block recorded in traced job spans."""
+        d = self.decision
+        block: dict[str, Any] = {
+            "path": self.tuner.model.path,
+            "key": d.key,
+            "hit": d.hit,
+            "borrowed": d.borrowed,
+            "shards_per_rank": d.shards_per_rank,
+            "batch_size": d.batch_size,
+            "auto_shards": d.auto_shards,
+            "auto_batch": d.auto_batch,
+            "workers": d.workers,
+            "resplits": self.resplits,
+        }
+        if d.predicted_makespan is not None:
+            block["predicted_makespan"] = round(d.predicted_makespan, 6)
+        if d.predicted_static is not None:
+            block["predicted_static"] = round(d.predicted_static, 6)
+        if self.observed_makespan:
+            block["observed_makespan"] = round(self.observed_makespan, 6)
+        return block

@@ -53,7 +53,7 @@ __all__ = [
     "ExecutorFailure", "SharedExecutor", "get_shared_executor",
     "reset_shared_executor", "shared_executor_stats",
     "resolve_start_method", "simulate_schedule",
-    "DEFAULT_IDLE_TIMEOUT", "POOL_KINDS",
+    "default_worker_count", "DEFAULT_IDLE_TIMEOUT", "POOL_KINDS",
 ]
 
 #: Pool kinds :meth:`SharedExecutor.map_tasks` accepts.
@@ -93,6 +93,30 @@ def _pool_worker_init() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     from .tracing import Tracer, install
     install(Tracer(enabled=False))
+
+
+def default_worker_count() -> int:
+    """The worker cap a default-constructed :class:`SharedExecutor`
+    would use: ``REPRO_EXECUTOR_WORKERS`` when set (validated the same
+    way), else ``os.cpu_count()``.
+
+    Lets schedule modeling (the autotuner) know the pool width without
+    forcing the global executor into existence.
+    """
+    env = os.environ.get("REPRO_EXECUTOR_WORKERS")
+    if not env:
+        return os.cpu_count() or 1
+    try:
+        workers = int(env)
+    except ValueError:
+        raise RuntimeLayerError(
+            f"invalid REPRO_EXECUTOR_WORKERS value {env!r}: expected "
+            f"a positive integer") from None
+    if workers < 1:
+        raise RuntimeLayerError(
+            f"invalid REPRO_EXECUTOR_WORKERS value {env!r}: must be "
+            f">= 1")
+    return workers
 
 
 def resolve_start_method(start_method: str | None = None) -> str:
@@ -137,8 +161,9 @@ class SharedExecutor:
                  idle_timeout: float | None = None,
                  start_method: str | None = None) -> None:
         if max_workers is None:
-            env = os.environ.get("REPRO_EXECUTOR_WORKERS")
-            max_workers = int(env) if env else (os.cpu_count() or 1)
+            # Validates REPRO_EXECUTOR_WORKERS with a friendly error
+            # naming the bad value instead of a raw int() traceback.
+            max_workers = default_worker_count()
         if max_workers < 1:
             raise RuntimeLayerError(
                 f"max_workers {max_workers} must be >= 1")
@@ -240,7 +265,9 @@ class SharedExecutor:
 
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any],
                   kind: str, labels: Sequence[str] | None = None,
-                  costs: Sequence[float] | None = None) -> list[Any]:
+                  costs: Sequence[float] | None = None,
+                  progress: Callable[[int, Any, float], None] | None
+                  = None) -> list[Any]:
         """Run ``fn(item)`` for every item on the *kind* pool.
 
         Items are submitted in descending *costs* order
@@ -248,6 +275,15 @@ class SharedExecutor:
         LPT schedule: whichever worker frees up pulls the largest
         remaining item.  Results come back in **input order**
         regardless.
+
+        *progress*, when given, is invoked as ``progress(index, result,
+        elapsed)`` once per successfully completed item — *index* is
+        the item's input position and *elapsed* the seconds since
+        dispatch began.  Callbacks run on pool/callback threads as
+        items finish (not in input order) and must be cheap and
+        exception-free; the autotuner uses them to watch a wave
+        complete in real time.  Failed or cancelled items produce no
+        callback.
 
         A task raising an ordinary exception propagates that exception
         unchanged after the remaining futures settle.  A worker *crash*
@@ -271,11 +307,26 @@ class SharedExecutor:
             pool = self._get_pool(kind)
             self._active_calls += 1
             self._counters["calls"] += 1
+        dispatch_start = time.monotonic()
+
+        def _notify(index: int) -> Callable[[Future], None]:
+            def _done(future: Future) -> None:
+                if future.cancelled() or future.exception() is not None:
+                    return
+                try:
+                    progress(index, future.result(),
+                             time.monotonic() - dispatch_start)
+                except Exception:
+                    pass  # observer must never poison the schedule
+            return _done
+
         try:
             futures: dict[int, Future] = {}
             try:
                 for i in order:
                     futures[i] = pool.submit(fn, items[i])
+                    if progress is not None:
+                        futures[i].add_done_callback(_notify(i))
             except BrokenExecutor as exc:
                 for future in futures.values():
                     future.cancel()
@@ -382,7 +433,19 @@ def simulate_schedule(costs: Sequence[float], workers: int,
     ``False`` the given order is kept (the arrival-order schedule).
     Used by the scaling bench to model dynamic-shard vs static-rank
     makespans from measured per-item durations, the same
-    measure-then-model methodology as the figure benches.
+    measure-then-model methodology as the figure benches, and by the
+    autotuner to compare candidate shard counts.
+
+    The makespan contract (asserted by tests/test_executor.py):
+
+    * an empty cost list returns ``0.0`` — no work takes no time;
+    * ``workers > len(costs)`` behaves as ``workers == len(costs)``:
+      every task gets its own worker and the makespan is
+      ``max(costs)``;
+    * zero-cost tasks are legal and contribute nothing;
+    * ``workers == 1`` degenerates to ``sum(costs)`` regardless of
+      ``longest_first``;
+    * ``workers < 1`` raises :class:`~repro.errors.RuntimeLayerError`.
     """
     if workers < 1:
         raise RuntimeLayerError(f"workers {workers} must be >= 1")

@@ -57,6 +57,7 @@ POINTS = (
     "journal.append",     # JobJournal.append, around the write
     "scheduler.attempt",  # WorkerPool, at the start of each attempt
     "gateway.dispatch",   # Dispatcher.dispatch, before op routing
+    "shard.batch",        # SAM batch pipeline, once per record batch
 )
 
 #: Fault kinds a point can be armed with.

@@ -490,7 +490,17 @@ def format_tree(spans: Iterable[Span]) -> str:
     def label(span: Span) -> str:
         rank = f" rank={span.rank}" if span.rank is not None else ""
         cat = f" [{span.category}]" if span.category else ""
-        return f"{span.name}{cat}{rank}"
+        extra = ""
+        if span.name == "autotune":
+            # Surface the cost_model provenance block inline so the
+            # trace tree explains every auto scheduling decision.
+            block = span.args.get("cost_model")
+            if isinstance(block, dict):
+                parts = [f"{k}={block[k]}" for k in
+                         ("key", "hit", "shards_per_rank",
+                          "batch_size", "resplits") if k in block]
+                extra = " " + " ".join(parts)
+        return f"{span.name}{cat}{rank}{extra}"
 
     def emit(text: str, duration: float, root_total: float,
              prefix: str, connector: str) -> None:

@@ -32,6 +32,7 @@ from ..errors import JobNotFoundError, ServiceError, \
     ServiceOverloadedError
 from ..formats.baix import default_index_path
 from ..formats.store import store_extension
+from ..runtime.autotune import AUTO, AutoTuner, CostModel
 from ..runtime.metrics import ServiceMetrics
 from . import journal as journal_mod
 from . import protocol
@@ -43,6 +44,33 @@ from .scheduler import WorkerPool
 
 #: Job kinds the service runner dispatches on.
 JOB_KINDS = ("convert", "region", "preprocess")
+
+
+def _parse_knob(value: Any, name: str) -> int | str:
+    """Validate a job's ``shards``/``batch_size`` knob.
+
+    Accepts a positive int (or its string form) or ``"auto"``; anything
+    else raises :class:`~repro.errors.ServiceError` naming the bad
+    value — submitters get a clear rejection instead of a worker-side
+    ``int()`` traceback.
+    """
+    if isinstance(value, str):
+        if value.strip().lower() == AUTO:
+            return AUTO
+        try:
+            value = int(value)
+        except ValueError:
+            raise ServiceError(
+                f"invalid {name} value {value!r}: expected a positive "
+                f"integer or 'auto'") from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(
+            f"invalid {name} value {value!r}: expected a positive "
+            f"integer or 'auto'")
+    if value < 1:
+        raise ServiceError(
+            f"invalid {name} value {value}: must be >= 1 (or 'auto')")
+    return value
 
 
 def _result_dict(result: ConversionResult,
@@ -73,9 +101,17 @@ class ConversionService:
         LRU size cap for the artifact cache (``None`` = unbounded).
     shards_per_rank:
         Default over-decomposition factor for converter jobs; a job's
-        ``shards`` parameter overrides it.  All jobs share one
+        ``shards`` parameter overrides it, and either may be ``"auto"``
+        to let the shared cost model pick per job.  All jobs share one
         process-global :class:`~repro.runtime.executor.SharedExecutor`
         — no per-job pool forking.
+    cost_model_path:
+        Where the persistent autotune cost model lives; defaults to
+        ``<work_dir>/cost_model.json``.  One
+        :class:`~repro.runtime.autotune.AutoTuner` wraps it for the
+        whole service, so every job — tuned or manual — feeds the model
+        and ``autotune_*`` counters appear in ``repro status
+        --metrics``.
     journal_path:
         Optional write-ahead job journal file.  When set, every
         submission and state transition is logged durably, and this
@@ -99,18 +135,25 @@ class ConversionService:
                  cache_dir: str | os.PathLike[str] | None = None,
                  cache_max_bytes: int | None = None,
                  metrics: ServiceMetrics | None = None,
-                 shards_per_rank: int = 1,
+                 shards_per_rank: int | str = 1,
                  journal_path: str | os.PathLike[str] | None = None,
                  journal_fsync: str = "interval",
-                 cache_verify: str | float = "always") -> None:
+                 cache_verify: str | float = "always",
+                 cost_model_path: str | os.PathLike[str] | None = None,
+                 ) -> None:
         from ..runtime.executor import shared_executor_stats
-        if shards_per_rank < 1:
-            raise ServiceError(
-                f"shards_per_rank {shards_per_rank} must be >= 1")
         self.work_dir = os.fspath(work_dir)
         os.makedirs(self.work_dir, exist_ok=True)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self.shards_per_rank = shards_per_rank
+        self.shards_per_rank = _parse_knob(shards_per_rank,
+                                           "shards_per_rank")
+        self.tuner = AutoTuner(
+            CostModel(cost_model_path if cost_model_path is not None
+                      else os.path.join(self.work_dir,
+                                        "cost_model.json")),
+            metrics=self.metrics)
+        self.metrics.set_gauge("autotune_model_keys",
+                               len(self.tuner.model))
         self.cache = ArtifactCache(
             cache_dir if cache_dir is not None
             else os.path.join(self.work_dir, "cache"),
@@ -163,6 +206,11 @@ class ConversionService:
                         f"{kind} job needs a {field!r} parameter")
         if kind == "region" and "region" not in params:
             raise ServiceError("region job needs a 'region' parameter")
+        # Reject malformed tuning knobs at the door — a bad value must
+        # fail the submission, not a worker thread minutes later.
+        for knob in ("shards", "batch_size"):
+            if knob in params:
+                _parse_knob(params[knob], knob)
         job = Job(kind=kind, params=dict(params), priority=priority,
                   timeout=timeout, max_retries=max_retries,
                   backoff=backoff)
@@ -208,7 +256,16 @@ class ConversionService:
             if params.get("filter") else None
         nprocs = int(params.get("nprocs", 1))
         executor = params.get("executor", "simulate")
-        shards = int(params.get("shards", self.shards_per_rank))
+        # Journal-recovered jobs bypass submit(), so knobs are
+        # re-validated here with the same friendly errors.
+        knobs: dict[str, Any] = {
+            "shards_per_rank": _parse_knob(
+                params.get("shards", self.shards_per_rank), "shards"),
+            "tuner": self.tuner,
+        }
+        if "batch_size" in params:
+            knobs["batch_size"] = _parse_knob(params["batch_size"],
+                                              "batch_size")
         source = os.fspath(params["input"])
         lowered = source.lower()
         if job.kind == "preprocess":
@@ -220,8 +277,7 @@ class ConversionService:
         if job.kind == "region":
             store_path, baix_path, cache_state = self._store_for(
                 source, params)
-            result = BamConverter(
-                shards_per_rank=shards).convert_region(
+            result = BamConverter(**knobs).convert_region(
                 store_path, baix_path, params["region"],
                 params["target"], params["out_dir"], nprocs, executor,
                 mode=params.get("mode", "start"),
@@ -230,13 +286,13 @@ class ConversionService:
             return _result_dict(result, cache_state)
         # kind == "convert"
         if lowered.endswith(".sam"):
-            result = SamConverter(shards_per_rank=shards).convert(
+            result = SamConverter(**knobs).convert(
                 source, params["target"], params["out_dir"], nprocs,
                 executor, record_filter=record_filter)
             self._note_fallbacks(result)
             return _result_dict(result, None)
         store_path, _, cache_state = self._store_for(source, params)
-        result = BamConverter(shards_per_rank=shards).convert(
+        result = BamConverter(**knobs).convert(
             store_path, params["target"], params["out_dir"], nprocs,
             executor, record_filter=record_filter)
         self._note_fallbacks(result)

@@ -1,0 +1,482 @@
+"""Tests for the self-tuning scheduler (:mod:`repro.runtime.autotune`):
+the persistent cost model, auto knob resolution, deterministic mid-job
+straggler re-splitting, provenance spans, service counters and the CLI
+surface."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import SamConverter
+from repro.errors import ConversionError, RuntimeLayerError, \
+    ServiceError
+from repro.runtime import faults
+from repro.runtime.autotune import (
+    AUTO,
+    AutoTuner,
+    CostModel,
+    make_key,
+    resolve_model_path,
+    size_bucket,
+)
+from repro.runtime.metrics import ServiceMetrics
+from repro.runtime.tracing import Tracer, install
+
+
+def read_parts(result):
+    return {os.path.basename(p): open(p, "rb").read()
+            for p in result.outputs}
+
+
+@pytest.fixture(autouse=True)
+def _no_faults():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+# ---------------------------------------------------------------------
+# CostModel
+
+
+def test_observe_then_lookup_rates(tmp_path):
+    model = CostModel(tmp_path / "m.json")
+    key = make_key("bed", "sam", "batch", 4000)
+    model.observe(key, [(100.0, 1.0), (100.0, 1.0)])
+    entry = model.lookup(key)
+    assert entry is not None
+    assert entry["rate"] == pytest.approx(0.01)
+    assert entry["rate_max"] == pytest.approx(0.01)
+    assert entry["count"] == 1
+
+
+def test_ewma_folds_new_observations(tmp_path):
+    model = CostModel(tmp_path / "m.json", alpha=0.5)
+    key = make_key("bed", "sam", "batch", 4000)
+    model.observe(key, [(100.0, 1.0)])      # rate 0.01
+    model.observe(key, [(100.0, 3.0)])      # rate 0.03
+    entry = model.lookup(key)
+    assert entry["rate"] == pytest.approx(0.02)  # halfway at alpha=0.5
+    assert entry["count"] == 2
+
+
+def test_skew_statistics_capture_hot_fraction(tmp_path):
+    model = CostModel(tmp_path / "m.json")
+    key = make_key("bed", "sam", "batch", 4000)
+    # Equal unit counts, one shard 9x the cost of the other three.
+    model.observe(key, [(100.0, 0.9), (100.0, 0.1), (100.0, 0.1),
+                        (100.0, 0.1)])
+    entry = model.lookup(key)
+    assert entry["rate_max"] == pytest.approx(0.009)
+    assert entry["hot_frac"] == pytest.approx(0.25)
+
+
+def test_persistence_round_trip_is_atomic(tmp_path):
+    path = tmp_path / "m.json"
+    model = CostModel(path)
+    key = make_key("bed", "sam", "batch", 4000)
+    model.observe(key, [(100.0, 1.0)])
+    model.save()
+    assert [p.name for p in tmp_path.iterdir()] == ["m.json"], \
+        "temp file left behind by the atomic replace"
+    reloaded = CostModel(path)
+    assert reloaded.load_error is None
+    assert reloaded.lookup(key)["rate"] == pytest.approx(0.01)
+
+
+def test_corrupt_model_file_reads_as_empty(tmp_path):
+    path = tmp_path / "m.json"
+    path.write_text("{not json", encoding="utf-8")
+    model = CostModel(path)
+    assert model.load_error is not None
+    assert len(model) == 0
+    # ... and is still usable: observe + save overwrites the damage.
+    model.observe(make_key("bed", "sam", "batch", 10), [(1.0, 1.0)])
+    model.save()
+    assert CostModel(path).load_error is None
+
+
+def test_bounded_history_evicts_least_recently_updated(tmp_path):
+    model = CostModel(tmp_path / "m.json", max_keys=3)
+    for i in range(6):
+        model.observe(f"t{i}|sam|batch|b0", [(1.0, 1.0)])
+    model.save()
+    reloaded = CostModel(tmp_path / "m.json", max_keys=3)
+    assert len(reloaded) == 3
+    for i in (3, 4, 5):                      # newest keys survive
+        assert reloaded.lookup(f"t{i}|sam|batch|b0") is not None
+
+
+def test_reset_forgets_and_removes_file(tmp_path):
+    path = tmp_path / "m.json"
+    model = CostModel(path)
+    model.observe("a|sam|batch|b0", [(1.0, 1.0)])
+    model.save()
+    model.reset()
+    assert len(model) == 0 and not path.exists()
+
+
+def test_size_buckets_group_similar_inputs():
+    assert size_bucket(1) == 0
+    assert size_bucket(3) == 0
+    assert size_bucket(4) == 1
+    assert size_bucket(4 ** 5) == 5
+    assert make_key("bed", "sam", "batch", 4 ** 5) == \
+        "bed|sam|batch|b5"
+
+
+def test_nearest_borrows_adjacent_bucket_only(tmp_path):
+    model = CostModel(tmp_path / "m.json")
+    model.observe(make_key("bed", "sam", "batch", 4 ** 5),
+                  [(1.0, 1.0)])
+    assert model.nearest(make_key("bed", "sam", "batch",
+                                  4 ** 6)) is not None
+    assert model.nearest(make_key("bed", "sam", "batch",
+                                  4 ** 8)) is None
+    assert model.nearest(make_key("fasta", "sam", "batch",
+                                  4 ** 5)) is None
+
+
+def test_resolve_model_path_precedence(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_COST_MODEL", str(tmp_path / "env.json"))
+    assert resolve_model_path(str(tmp_path / "cli.json")) == \
+        str(tmp_path / "cli.json")
+    assert resolve_model_path() == str(tmp_path / "env.json")
+    monkeypatch.delenv("REPRO_COST_MODEL")
+    assert resolve_model_path().endswith("cost-model.json")
+
+
+# ---------------------------------------------------------------------
+# AutoTuner decisions
+
+
+def test_cold_model_falls_back_to_defaults(tmp_path):
+    tuner = AutoTuner(CostModel(tmp_path / "m.json"), workers=4)
+    tuning = tuner.begin_job("bed", "sam", "batch", 4000, nprocs=4,
+                             shards=AUTO, batch_size=AUTO,
+                             default_batch=4096)
+    assert tuning.decision.hit is False
+    assert tuning.shards_per_rank == 1
+    assert tuning.batch_size == 4096
+
+
+def test_warm_skewed_model_chooses_extra_shards(tmp_path):
+    model = CostModel(tmp_path / "m.json")
+    key = make_key("bed", "sam", "batch", 4000)
+    # One rank 10x the others: LPT over finer shards must win.
+    model.observe(key, [(1000.0, 10.0), (1000.0, 1.0),
+                        (1000.0, 1.0), (1000.0, 1.0)])
+    tuner = AutoTuner(model, workers=4)
+    tuning = tuner.begin_job("bed", "sam", "batch", 4000, nprocs=4,
+                             shards=AUTO)
+    assert tuning.decision.hit is True
+    assert tuning.shards_per_rank > 1
+    assert tuning.decision.predicted_makespan < \
+        tuning.decision.predicted_static
+
+
+def test_warm_model_chooses_best_rated_batch(tmp_path):
+    model = CostModel(tmp_path / "m.json")
+    key = make_key("bed", "sam", "batch", 4000)
+    model.observe(key, [(100.0, 1.0)], batch_size=1024)
+    model.observe(key, [(100.0, 0.2)], batch_size=8192)
+    tuner = AutoTuner(model, workers=2)
+    tuning = tuner.begin_job("bed", "sam", "batch", 4000, nprocs=2,
+                             batch_size=AUTO, default_batch=4096)
+    assert tuning.batch_size == 8192
+
+
+def test_budget_override_beats_the_model(tmp_path):
+    tuner = AutoTuner(CostModel(tmp_path / "m.json"),
+                      budget_override=0.123)
+    assert tuner.shard_budget(None, 1000.0) == 0.123
+    assert tuner.sibling_budget([5.0, 5.0]) == 0.123
+
+
+def test_sibling_budget_is_k_times_median(tmp_path):
+    tuner = AutoTuner(CostModel(tmp_path / "m.json"),
+                      straggler_factor=4.0)
+    assert tuner.sibling_budget([]) is None
+    assert tuner.sibling_budget([1.0, 2.0, 3.0]) == pytest.approx(8.0)
+    # ... floored so micro-tasks never trip the predicate on noise.
+    assert tuner.sibling_budget([1e-6]) == pytest.approx(0.05)
+
+
+def test_tuner_rejects_bad_parameters(tmp_path):
+    with pytest.raises(RuntimeLayerError, match="straggler_factor"):
+        AutoTuner(CostModel(tmp_path / "m.json"), straggler_factor=1.0)
+    with pytest.raises(RuntimeLayerError, match="resplit_factor"):
+        AutoTuner(CostModel(tmp_path / "m.json"), resplit_factor=1)
+
+
+def test_finish_persists_observations(tmp_path):
+    path = tmp_path / "m.json"
+    tuner = AutoTuner(CostModel(path), workers=2)
+    tuning = tuner.begin_job("bed", "sam", "batch", 4000, nprocs=2)
+    tuning.observe([(2000.0, 1.0), (2000.0, 1.0)])
+    tuning.finish()
+    assert CostModel(path).lookup(tuning.decision.key) is not None
+
+
+def test_finish_survives_unwritable_model_dir(tmp_path):
+    target = tmp_path / "ro" / "sub" / "m.json"
+    tuner = AutoTuner(CostModel(target), workers=2)
+    tuning = tuner.begin_job("bed", "sam", "batch", 100, nprocs=1)
+    tuning.observe([(100.0, 1.0)])
+    (tmp_path / "ro").mkdir()
+    (tmp_path / "ro").chmod(0o555)
+    try:
+        tuning.finish()                      # must not raise
+    finally:
+        (tmp_path / "ro").chmod(0o755)
+
+
+# ---------------------------------------------------------------------
+# converter knob validation (satellite: friendly errors)
+
+
+def test_converter_rejects_bad_shards_naming_value():
+    with pytest.raises(ConversionError,
+                       match=r"shards_per_rank value 'bogus'"):
+        SamConverter(shards_per_rank="bogus")
+    with pytest.raises(ConversionError, match=r"value 0.*>= 1"):
+        SamConverter(shards_per_rank=0)
+    with pytest.raises(ConversionError,
+                       match=r"batch_size value -3"):
+        SamConverter(batch_size="-3")
+
+
+def test_converter_accepts_auto_and_numeric_strings():
+    converter = SamConverter(shards_per_rank="AUTO", batch_size="512")
+    assert converter.shards_per_rank == AUTO
+    assert converter.batch_size == 512
+    assert converter.tuner is not None      # private in-memory tuner
+
+
+# ---------------------------------------------------------------------
+# end-to-end: auto knobs + deterministic straggler re-splitting
+
+
+def _convert(sam_file, out_dir, tuner=None, shards=1, batch=4096,
+             executor="simulate"):
+    return SamConverter(shards_per_rank=shards, batch_size=batch,
+                        tuner=tuner).convert(
+        sam_file, "bed", out_dir, nprocs=2, executor=executor)
+
+
+@pytest.mark.parametrize("executor", ["simulate", "thread"])
+def test_forced_resplit_is_byte_identical(sam_file, tmp_path, executor):
+    """A fault-injected delay makes every shard blow its (overridden)
+    budget; the remaining ranges re-split mid-job and the final bytes
+    must still equal the static run's."""
+    static = _convert(sam_file, tmp_path / "static")
+    metrics = ServiceMetrics()
+    tuner = AutoTuner(CostModel(tmp_path / "m.json"), metrics=metrics,
+                      budget_override=0.001)
+    faults.arm("shard.batch:delay")
+    try:
+        resplit = _convert(sam_file, tmp_path / f"re-{executor}",
+                           tuner=tuner, shards=3, batch=32,
+                           executor=executor)
+    finally:
+        faults.disarm()
+    assert read_parts(resplit) == read_parts(static)
+    assert metrics.counter("autotune_resplits") >= 1
+    leftovers = [n for n in os.listdir(tmp_path / f"re-{executor}")
+                 if ".shard" in n or ".tail" in n]
+    assert leftovers == []
+
+
+def test_resplit_rounds_are_bounded(sam_file, tmp_path):
+    """Budgets come off after MAX_RESPLIT_ROUNDS waves, so a job whose
+    every shard 'straggles' forever still terminates."""
+    from repro.runtime.autotune import MAX_RESPLIT_ROUNDS
+    metrics = ServiceMetrics()
+    tuner = AutoTuner(CostModel(tmp_path / "m.json"), metrics=metrics,
+                      budget_override=1e-9, resplit_factor=2)
+    faults.arm("shard.batch:delay")
+    try:
+        result = _convert(sam_file, tmp_path / "out", tuner=tuner,
+                          shards=2, batch=16)
+    finally:
+        faults.disarm()
+    static = _convert(sam_file, tmp_path / "static")
+    assert read_parts(result) == read_parts(static)
+    assert MAX_RESPLIT_ROUNDS == 2
+
+
+def test_auto_shards_warm_run_is_byte_identical(sam_file, tmp_path):
+    """Run 1 (cold) trains the model; run 2 (fresh tuner, same file)
+    resolves ``auto`` from it.  Both must match the static bytes."""
+    static = _convert(sam_file, tmp_path / "static")
+    path = tmp_path / "m.json"
+    cold = _convert(sam_file, tmp_path / "cold",
+                    tuner=AutoTuner(CostModel(path), workers=2),
+                    shards="auto", batch="auto")
+    warm = _convert(sam_file, tmp_path / "warm",
+                    tuner=AutoTuner(CostModel(path), workers=2),
+                    shards="auto", batch="auto", executor="thread")
+    assert read_parts(cold) == read_parts(static)
+    assert read_parts(warm) == read_parts(static)
+    assert CostModel(path).lookup(
+        make_key("bed", "sam", "batch",
+                 os.path.getsize(sam_file))) is not None
+
+
+# ---------------------------------------------------------------------
+# provenance span
+
+
+def test_autotune_span_explains_the_decision(sam_file, tmp_path):
+    path = tmp_path / "m.json"
+    blocks = []
+    for run in ("cold", "warm"):
+        tracer = Tracer(enabled=True)
+        prev = install(tracer)
+        try:
+            _convert(sam_file, tmp_path / run,
+                     tuner=AutoTuner(CostModel(path), workers=2),
+                     shards="auto")
+        finally:
+            install(prev)
+        spans = [s for s in tracer.spans() if s.name == "autotune"]
+        assert len(spans) == 1
+        blocks.append(spans[0].args["cost_model"])
+    cold, warm = blocks
+    assert cold["hit"] is False and warm["hit"] is True
+    assert cold["key"] == warm["key"]
+    assert cold["key"].startswith("bed|sam|batch|b")
+    assert cold["auto_shards"] is True
+    assert cold["resplits"] == 0
+    assert warm["path"] == str(path)
+
+
+def test_format_tree_renders_cost_model_inline(sam_file, tmp_path):
+    from repro.runtime.tracing import format_tree
+    tracer = Tracer(enabled=True)
+    prev = install(tracer)
+    try:
+        _convert(sam_file, tmp_path / "out",
+                 tuner=AutoTuner(CostModel(tmp_path / "m.json"),
+                                 workers=2), shards="auto")
+    finally:
+        install(prev)
+    tree = format_tree(tracer.spans())
+    assert "autotune" in tree
+    assert "key=bed|sam|batch" in tree
+    assert "shards_per_rank=" in tree
+
+
+# ---------------------------------------------------------------------
+# service integration
+
+
+def test_service_auto_job_and_counters(sam_file, tmp_path):
+    from repro.runtime.executor import reset_shared_executor
+    from repro.service.server import ConversionService
+    reset_shared_executor()
+    service = ConversionService(tmp_path / "svc", workers=1)
+    try:
+        static = service.submit("convert", {
+            "input": str(sam_file), "target": "bed",
+            "out_dir": str(tmp_path / "static"), "nprocs": 2})
+        auto = service.submit("convert", {
+            "input": str(sam_file), "target": "bed",
+            "out_dir": str(tmp_path / "auto"), "nprocs": 2,
+            "shards": "auto"})
+        assert service.pool.wait_all(timeout=60)
+        static_job = service.pool.get(static.job_id)
+        auto_job = service.pool.get(auto.job_id)
+        assert static_job.state.value == "done", static_job.error
+        assert auto_job.state.value == "done", auto_job.error
+
+        def job_bytes(job):
+            return {os.path.basename(p): open(p, "rb").read()
+                    for p in job.result["outputs"]}
+        assert job_bytes(auto_job) == job_bytes(static_job)
+
+        assert service.metrics.counter("autotune_jobs") >= 2
+        assert service.metrics.counter("autotune_auto_jobs") >= 1
+        assert service.metrics.gauge("autotune_model_keys") >= 1
+        # The model is the service's own file, shared across jobs.
+        assert os.path.exists(tmp_path / "svc" / "cost_model.json")
+        # The job trace carries the autotune provenance span.
+        spans = service.trace(auto.job_id)
+        tune = [s for s in spans if s["name"] == "autotune"]
+        assert tune and "cost_model" in tune[0]["args"]
+    finally:
+        service.close()
+        reset_shared_executor()
+
+
+def test_service_rejects_bad_knobs_at_submit(sam_file, tmp_path):
+    from repro.service.server import ConversionService
+    service = ConversionService(tmp_path / "svc", workers=1)
+    try:
+        with pytest.raises(ServiceError, match=r"shards value 'turbo'"):
+            service.submit("convert", {
+                "input": str(sam_file), "target": "bed",
+                "out_dir": str(tmp_path / "out"), "shards": "turbo"})
+        with pytest.raises(ServiceError,
+                           match=r"batch_size value 0"):
+            service.submit("convert", {
+                "input": str(sam_file), "target": "bed",
+                "out_dir": str(tmp_path / "out"), "batch_size": 0})
+    finally:
+        service.close()
+
+
+def test_service_ctor_rejects_bad_default_shards(tmp_path):
+    from repro.service.server import ConversionService
+    with pytest.raises(ServiceError, match=r"shards_per_rank value"):
+        ConversionService(tmp_path / "svc", workers=1,
+                          shards_per_rank="warp")
+
+
+# ---------------------------------------------------------------------
+# CLI surface
+
+
+def test_cli_tune_show_and_reset(tmp_path, capsys):
+    from repro.cli import main
+    path = str(tmp_path / "m.json")
+    model = CostModel(path)
+    model.observe("bed|sam|batch|b5", [(100.0, 1.0)])
+    model.save()
+    assert main(["tune", "show", "--cost-model", path]) == 0
+    out = capsys.readouterr().out
+    assert "bed|sam|batch|b5" in out and "1 keys" in out
+    assert main(["tune", "reset", "--cost-model", path]) == 0
+    assert not os.path.exists(path)
+    assert main(["tune", "show", "--cost-model", path]) == 0
+    assert "empty (cold)" in capsys.readouterr().out
+
+
+def test_cli_auto_convert_warms_model(sam_file, tmp_path, capsys):
+    from repro.cli import main
+    path = str(tmp_path / "m.json")
+    args = ["convert", str(sam_file), "--target", "bed",
+            "--nprocs", "2", "--shards", "auto", "--batch-size",
+            "auto", "--cost-model", path]
+    assert main(args + ["--out-dir", str(tmp_path / "o1")]) == 0
+    assert main(args + ["--out-dir", str(tmp_path / "o2")]) == 0
+    capsys.readouterr()
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert any(k.startswith("bed|sam|batch|") for k in doc["keys"])
+    o1 = sorted(os.listdir(tmp_path / "o1"))
+    assert o1 == sorted(os.listdir(tmp_path / "o2"))
+    for name in o1:
+        assert (tmp_path / "o1" / name).read_bytes() == \
+            (tmp_path / "o2" / name).read_bytes()
+
+
+def test_cli_rejects_bad_shards_naming_value(capsys):
+    from repro.cli import main
+    with pytest.raises(SystemExit):
+        main(["convert", "x.sam", "--target", "bed", "--out-dir", "o",
+              "--shards", "many"])
+    assert "invalid shards value 'many'" in capsys.readouterr().err

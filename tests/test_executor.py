@@ -366,3 +366,66 @@ def test_simulate_schedule_rejects_bad_workers():
 
 def test_simulate_schedule_empty_is_zero():
     assert simulate_schedule([], 4) == 0.0
+
+
+def test_simulate_schedule_more_workers_than_tasks():
+    # Each task gets its own worker; the makespan is the longest task.
+    assert simulate_schedule([3.0, 1.0, 2.0], 8) == pytest.approx(3.0)
+
+
+def test_simulate_schedule_zero_cost_tasks_are_legal():
+    assert simulate_schedule([0.0, 0.0, 0.0], 2) == 0.0
+    assert simulate_schedule([0.0, 5.0], 2) == pytest.approx(5.0)
+
+
+def test_simulate_schedule_single_worker_is_total_work():
+    costs = [0.5, 2.0, 1.25]
+    assert simulate_schedule(costs, 1) == pytest.approx(sum(costs))
+
+
+# -- progress callbacks (autotune's completion feed) -----------------
+
+def test_map_tasks_progress_reports_every_item(executor):
+    seen = {}
+
+    def progress(index, result, elapsed):
+        seen[index] = (result, elapsed)
+
+    out = executor.map_tasks(_double, [5, 6, 7], "thread",
+                             progress=progress)
+    assert out == [10, 12, 14]
+    assert {i: r for i, (r, _) in seen.items()} == {0: 10, 1: 12, 2: 14}
+    assert all(elapsed >= 0.0 for _, elapsed in seen.values())
+
+
+def test_map_tasks_progress_exceptions_do_not_poison_results(executor):
+    def progress(_index, _result, _elapsed):
+        raise RuntimeError("observer bug")
+
+    assert executor.map_tasks(_double, [1, 2], "thread",
+                              progress=progress) == [2, 4]
+
+
+def test_map_tasks_progress_skips_failed_items(executor):
+    calls = []
+    with pytest.raises(ValueError):
+        executor.map_tasks(_boom, [1], "thread",
+                           progress=lambda *a: calls.append(a))
+    assert calls == []
+
+
+# -- friendly REPRO_EXECUTOR_WORKERS validation (satellite) ----------
+
+def test_worker_env_non_integer_names_the_value(monkeypatch):
+    from repro.runtime.executor import default_worker_count
+    monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "lots")
+    with pytest.raises(RuntimeLayerError,
+                       match=r"REPRO_EXECUTOR_WORKERS value 'lots'"):
+        default_worker_count()
+
+
+def test_worker_env_non_positive_names_the_value(monkeypatch):
+    from repro.runtime.executor import default_worker_count
+    monkeypatch.setenv("REPRO_EXECUTOR_WORKERS", "0")
+    with pytest.raises(RuntimeLayerError, match=r"'0'.*>= 1"):
+        SharedExecutor(idle_timeout=0)

@@ -296,3 +296,52 @@ def test_preproc_sam_converter_bamc_parts(sam_file, tmp_path):
     columnar = col.convert(col_paths, "bedgraph", tmp_path / "d",
                            nprocs=2)
     assert read_parts(columnar) == read_parts(static)
+
+
+# -- Straggler re-splitting: every target, forced mid-job ------------
+
+@pytest.mark.parametrize("target", target_names())
+def test_resplit_identity_all_targets(sam_file, tmp_path, target):
+    """With a tiny budget override and an injected per-batch delay,
+    every splittable shard yields mid-job and re-splits its remaining
+    range; the final bytes must equal the static single-shard run for
+    every registered target (binary targets decline to split and just
+    run static)."""
+    from repro.runtime import faults
+    from repro.runtime.autotune import AutoTuner, CostModel
+
+    static = SamConverter().convert(sam_file, target,
+                                    tmp_path / "static", nprocs=2)
+    faults.arm("shard.batch:delay")
+    try:
+        for executor in ("simulate", "thread"):
+            tuner = AutoTuner(CostModel(tmp_path / f"m-{executor}.json"),
+                              budget_override=0.001)
+            resplit = SamConverter(
+                shards_per_rank=3, batch_size=32, tuner=tuner).convert(
+                sam_file, target, tmp_path / f"re-{executor}", nprocs=2,
+                executor=executor)
+            assert read_parts(resplit) == read_parts(static), \
+                f"{target} via {executor}"
+            assert_no_shard_leftovers(tmp_path / f"re-{executor}")
+    finally:
+        faults.disarm()
+
+
+def test_auto_shards_identity_vs_static(sam_file, tmp_path):
+    """`--shards auto` (cold, then warm from the persisted model) must
+    match the static bytes on the same workload."""
+    from repro.runtime.autotune import AutoTuner, CostModel
+
+    static = SamConverter().convert(sam_file, "bed", tmp_path / "static",
+                                    nprocs=3)
+    model_path = tmp_path / "model.json"
+    for run, executor in (("cold", "simulate"), ("warm", "thread"),
+                          ("warm2", "process")):
+        auto = SamConverter(
+            shards_per_rank="auto",
+            tuner=AutoTuner(CostModel(model_path), workers=3)).convert(
+            sam_file, "bed", tmp_path / run, nprocs=3,
+            executor=executor)
+        assert read_parts(auto) == read_parts(static), run
+        assert_no_shard_leftovers(tmp_path / run)

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Aggregate committed ``BENCH_*.json`` results into one trajectory
+table.
+
+Every benchmark writes a machine-readable ``BENCH_<name>.json`` at the
+repo root (see ``benchmarks/common.report_json``).  This tool collects
+them all and prints one table — bench name, run date, smoke flag, and
+every ``*speedup*`` metric found anywhere in the payload — so the perf
+trajectory across PRs is visible at a glance.  CI runs it after the
+perf-smoke job and uploads the rendered report as an artifact.
+
+Usage::
+
+    python tools/bench_report.py [--root DIR] [--output report.md]
+
+Exits nonzero when no BENCH_*.json files are found (a misconfigured
+checkout should fail loudly, not produce an empty report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def walk_speedups(node: object, prefix: str = "") -> dict[str, float]:
+    """Every numeric value under a key containing ``speedup``.
+
+    The walk is recursive so nested blocks like
+    ``{"schedule": {"dynamic_speedup": 1.86}}`` surface as
+    ``schedule.dynamic_speedup`` without each bench having to declare
+    its metrics anywhere.
+    """
+    found: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool) \
+                    and "speedup" in str(key).lower():
+                found[path] = float(value)
+            else:
+                found.update(walk_speedups(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            found.update(walk_speedups(value, f"{prefix}[{i}]"))
+    return found
+
+
+def load_results(root: str) -> list[dict]:
+    """Parse every BENCH_*.json under *root* (sorted by name)."""
+    results = []
+    for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            results.append({"path": path, "error": f"{exc}"})
+            continue
+        results.append({"path": path, "doc": doc})
+    return results
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 markdown: bool = False) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    if markdown:
+        lines = ["| " + " | ".join(h.ljust(w) for h, w in
+                                   zip(headers, widths)) + " |",
+                 "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+        lines += ["| " + " | ".join(c.ljust(w) for c, w in
+                                    zip(row, widths)) + " |"
+                  for row in rows]
+    else:
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+                 "  ".join("-" * w for w in widths)]
+        lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+                  for row in rows]
+    return "\n".join(lines)
+
+
+def build_report(results: list[dict], markdown: bool = False) -> str:
+    rows = []
+    errors = []
+    for item in results:
+        name = os.path.basename(item["path"])
+        name = name[len("BENCH_"):-len(".json")]
+        if "error" in item:
+            errors.append(f"{name}: unreadable ({item['error']})")
+            continue
+        doc = item["doc"]
+        stamp = doc.get("timestamp")
+        when = time.strftime("%Y-%m-%d", time.gmtime(stamp)) \
+            if isinstance(stamp, (int, float)) else "?"
+        smoke = "yes" if doc.get("smoke") else "no"
+        speedups = walk_speedups(doc)
+        if not speedups:
+            rows.append([name, when, smoke, "(no speedup metrics)", ""])
+            continue
+        for i, key in enumerate(sorted(speedups)):
+            rows.append([name if i == 0 else "", when if i == 0 else "",
+                         smoke if i == 0 else "", key,
+                         f"{speedups[key]:.3f}"])
+    headers = ["bench", "date", "smoke", "metric", "speedup"]
+    title = "Benchmark trajectory"
+    parts = [f"# {title}" if markdown else title, "",
+             format_table(headers, rows, markdown=markdown)]
+    if errors:
+        parts += ["", "Unreadable results:"] + \
+            [f"- {e}" for e in errors]
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="aggregate committed BENCH_*.json results into one "
+                    "trajectory table")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="directory holding BENCH_*.json "
+                             "(default: the repo root)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the report (markdown) here")
+    args = parser.parse_args(argv)
+    results = load_results(args.root)
+    if not results:
+        print(f"error: no BENCH_*.json files under {args.root}",
+              file=sys.stderr)
+        return 1
+    print(build_report(results, markdown=False))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(build_report(results, markdown=True))
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
